@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench accepts:
+ *   --ops N        high-level operations per thread (default 200)
+ *   --seed S       RNG seed
+ *   --workload W   restrict to one workload (default: all)
+ */
+
+#ifndef ASAP_BENCH_BENCH_UTIL_HH
+#define ASAP_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/log.hh"
+#include "workloads/registry.hh"
+
+namespace asap
+{
+
+/** Parsed bench command line. */
+struct BenchArgs
+{
+    unsigned ops = 200;
+    std::uint64_t seed = 1;
+    std::string workload; //!< empty = all
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+                a.ops = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 0));
+            } else if (!std::strcmp(argv[i], "--seed") &&
+                       i + 1 < argc) {
+                a.seed = std::strtoull(argv[++i], nullptr, 0);
+            } else if (!std::strcmp(argv[i], "--workload") &&
+                       i + 1 < argc) {
+                a.workload = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--ops N] [--seed S] "
+                             "[--workload W]\n", argv[0]);
+                std::exit(2);
+            }
+        }
+        return a;
+    }
+
+    /** Workload names this bench should sweep. */
+    std::vector<std::string>
+    workloads() const
+    {
+        std::vector<std::string> names;
+        if (!workload.empty()) {
+            names.push_back(workload);
+            return names;
+        }
+        for (const WorkloadInfo &w : allWorkloads())
+            names.push_back(w.name);
+        return names;
+    }
+
+    WorkloadParams
+    params() const
+    {
+        WorkloadParams p;
+        p.opsPerThread = ops;
+        p.seed = seed;
+        return p;
+    }
+};
+
+/** Geometric mean of a series (ignores non-positive entries). */
+inline double
+gmean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    unsigned n = 0;
+    for (double x : xs) {
+        if (x > 0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0.0;
+}
+
+} // namespace asap
+
+#endif // ASAP_BENCH_BENCH_UTIL_HH

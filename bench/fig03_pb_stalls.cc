@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 3: percentage of cycles the persist buffers are blocked
+ * without flushing writes, under HOPS (conservative flushing).
+ *
+ * Expected shape (paper): ~26% of cycles on average; highest for the
+ * new concurrent persistent data structures because of their frequent
+ * cross-thread dependencies.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace asap;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    std::printf("=== Figure 3: %% persist-buffer blocked cycles "
+                "(HOPS, 4 threads, RP) ===\n");
+    std::printf("%-12s %10s\n", "workload", "blocked%");
+    std::vector<double> pct;
+    for (const std::string &name : args.workloads()) {
+        RunResult r = runExperiment(name, ModelKind::Hops,
+                                    PersistencyModel::Release, 4,
+                                    args.params());
+        const double p = 100.0 * static_cast<double>(r.cyclesBlocked) /
+                         static_cast<double>(r.totalCoreCycles());
+        pct.push_back(p);
+        std::printf("%-12s %9.1f%%\n", name.c_str(), p);
+    }
+    double avg = 0;
+    for (double p : pct)
+        avg += p;
+    avg /= pct.empty() ? 1 : pct.size();
+    std::printf("%-12s %9.1f%%   (paper: ~26%% average)\n", "average",
+                avg);
+    return 0;
+}

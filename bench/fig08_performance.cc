@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 8: speedup over the Intel baseline for HOPS_EP, HOPS_RP,
+ * ASAP_EP, ASAP_RP and eADR/BBB on a 4-core, 2-MC system.
+ *
+ * Expected shape (paper): ASAP_RP ~2.3x over baseline on average,
+ * ~23% over HOPS_RP, within ~4% of eADR/BBB; HOPS_EP drops below
+ * baseline for the concurrent structures (queue, CCEH, Dash, P-ART)
+ * because polling makes cross-dependency resolution slow.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace asap;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    struct ModelCol
+    {
+        const char *label;
+        ModelKind kind;
+        PersistencyModel pm;
+    };
+    const ModelCol cols[] = {
+        {"HOPS_EP", ModelKind::Hops, PersistencyModel::Epoch},
+        {"HOPS_RP", ModelKind::Hops, PersistencyModel::Release},
+        {"ASAP_EP", ModelKind::Asap, PersistencyModel::Epoch},
+        {"ASAP_RP", ModelKind::Asap, PersistencyModel::Release},
+        {"eADR/BBB", ModelKind::Eadr, PersistencyModel::Release},
+    };
+
+    std::printf("=== Figure 8: speedup over baseline "
+                "(4 cores, 2 MCs) ===\n");
+    std::printf("%-12s", "workload");
+    for (const ModelCol &c : cols)
+        std::printf(" %9s", c.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> speedups(std::size(cols));
+    for (const std::string &name : args.workloads()) {
+        RunResult base = runExperiment(name, ModelKind::Baseline,
+                                       PersistencyModel::Release, 4,
+                                       args.params());
+        std::printf("%-12s", name.c_str());
+        for (std::size_t i = 0; i < std::size(cols); ++i) {
+            RunResult r = runExperiment(name, cols[i].kind,
+                                        cols[i].pm, 4, args.params());
+            const double s = static_cast<double>(base.runTicks) /
+                             static_cast<double>(r.runTicks);
+            speedups[i].push_back(s);
+            std::printf(" %9.2f", s);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-12s", "gmean");
+    for (std::size_t i = 0; i < std::size(cols); ++i)
+        std::printf(" %9.2f", gmean(speedups[i]));
+    std::printf("\n(paper gmean: HOPS_RP ~1.86, ASAP_EP ~2.10, "
+                "ASAP_RP ~2.29, eADR ~2.38 over baseline)\n");
+    return 0;
+}

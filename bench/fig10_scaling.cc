@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 10: core-count sensitivity (1/2/4/8 threads, 2 MCs fixed),
+ * ASAP vs HOPS under release persistency. Shows the paper's best
+ * scaler (P-ART), worst scaler (skiplist) and the all-workload mean,
+ * all normalised to HOPS at 1 thread.
+ *
+ * Expected shape (paper): ASAP 1.18x over HOPS at one thread (eager
+ * flushing uses both MCs) and scaling to ~2.85x vs HOPS's 2.15x at 8
+ * threads — HOPS falls off as cross-thread dependencies multiply.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace asap;
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+    const unsigned coreCounts[] = {1, 2, 4, 8};
+
+    std::printf("=== Figure 10: scalability over cores "
+                "(normalised to HOPS @1 thread) ===\n");
+    std::printf("%-12s %-6s", "workload", "model");
+    for (unsigned c : coreCounts)
+        std::printf(" %7u", c);
+    std::printf("\n");
+
+    // Throughput metric: operations per tick, normalised.
+    auto throughput = [&](const std::string &w, ModelKind m,
+                          unsigned cores) {
+        RunResult r = runExperiment(w, m, PersistencyModel::Release,
+                                    cores, args.params());
+        // Total high-level ops scale with the thread count, so
+        // throughput = cores / runTicks (ops per thread fixed).
+        return static_cast<double>(cores) /
+               static_cast<double>(r.runTicks);
+    };
+
+    std::vector<std::string> names = args.workload.empty()
+        ? std::vector<std::string>{"p-art", "skiplist"}
+        : std::vector<std::string>{args.workload};
+
+    std::vector<std::vector<double>> asapSpeed(4), hopsSpeed(4);
+    for (const std::string &name : names) {
+        const double hops1 = throughput(name, ModelKind::Hops, 1);
+        std::printf("%-12s %-6s", name.c_str(), "HOPS");
+        for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
+            const double s =
+                throughput(name, ModelKind::Hops, coreCounts[i]) /
+                hops1;
+            hopsSpeed[i].push_back(s);
+            std::printf(" %7.2f", s);
+        }
+        std::printf("\n%-12s %-6s", "", "ASAP");
+        for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
+            const double s =
+                throughput(name, ModelKind::Asap, coreCounts[i]) /
+                hops1;
+            asapSpeed[i].push_back(s);
+            std::printf(" %7.2f", s);
+        }
+        std::printf("\n");
+    }
+
+    if (args.workload.empty()) {
+        // All-workload average rows (smaller op count keeps this
+        // tractable: 14 workloads x 2 models x 4 core counts).
+        WorkloadParams p = args.params();
+        for (const WorkloadInfo &w : allWorkloads()) {
+            RunResult h1 = runExperiment(w.name, ModelKind::Hops,
+                                         PersistencyModel::Release, 1,
+                                         p);
+            const double hops1 =
+                1.0 / static_cast<double>(h1.runTicks);
+            for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
+                RunResult h = runExperiment(
+                    w.name, ModelKind::Hops,
+                    PersistencyModel::Release, coreCounts[i], p);
+                RunResult a = runExperiment(
+                    w.name, ModelKind::Asap,
+                    PersistencyModel::Release, coreCounts[i], p);
+                hopsSpeed[i].push_back(
+                    coreCounts[i] /
+                    static_cast<double>(h.runTicks) / hops1);
+                asapSpeed[i].push_back(
+                    coreCounts[i] /
+                    static_cast<double>(a.runTicks) / hops1);
+            }
+        }
+        std::printf("%-12s %-6s", "average", "HOPS");
+        for (std::size_t i = 0; i < std::size(coreCounts); ++i)
+            std::printf(" %7.2f", gmean(hopsSpeed[i]));
+        std::printf("\n%-12s %-6s", "", "ASAP");
+        for (std::size_t i = 0; i < std::size(coreCounts); ++i)
+            std::printf(" %7.2f", gmean(asapSpeed[i]));
+        std::printf("\n(paper avg: ASAP 1.18/1.79/2.51/2.85 vs HOPS "
+                    "1.00/1.36/1.94/2.15)\n");
+    }
+    return 0;
+}

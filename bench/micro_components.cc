@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): host-side throughput
+ * of the simulator's hot structures. These do not reproduce a paper
+ * figure; they guard the simulator's own performance so the figure
+ * benches stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/recovery_table.hh"
+#include "mem/wpq.hh"
+#include "persist/bloom_filter.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+using namespace asap;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 100),
+                        [&sink]() { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_WpqInsertPop(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state) {
+        Wpq wpq(16);
+        for (int i = 0; i < 64; ++i) {
+            if (wpq.insert(rng.below(32), rng.next()) ==
+                Wpq::Insert::Full) {
+                wpq.pop();
+            }
+        }
+        benchmark::DoNotOptimize(wpq.size());
+    }
+}
+BENCHMARK(BM_WpqInsertPop);
+
+void
+BM_RecoveryTableFlushCommit(benchmark::State &state)
+{
+    Rng rng(11);
+    for (auto _ : state) {
+        StatSet stats;
+        RecoveryTable rt(0, 32, stats);
+        for (std::uint64_t e = 1; e <= 8; ++e) {
+            for (int i = 0; i < 4; ++i) {
+                FlushPacket pkt{rng.below(64), rng.next(), 0, e, true};
+                rt.onFlush(pkt, 0);
+            }
+            rt.onCommit(0, e, [](std::uint64_t, std::uint64_t) {});
+        }
+        benchmark::DoNotOptimize(rt.occupancy());
+    }
+}
+BENCHMARK(BM_RecoveryTableFlushCommit);
+
+void
+BM_CountingBloom(benchmark::State &state)
+{
+    Rng rng(13);
+    CountingBloom bloom(1024, 3);
+    for (auto _ : state) {
+        const std::uint64_t line = rng.below(1u << 20);
+        bloom.insert(line);
+        benchmark::DoNotOptimize(bloom.test(line));
+        bloom.remove(line);
+    }
+}
+BENCHMARK(BM_CountingBloom);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table V: hardware overheads of ASAP's structures (area, access
+ * latency, read/write energy) from the CACTI-lite analytical model,
+ * printed next to the paper's CACTI 7 @22 nm values; plus the
+ * Section VII-D ADR drain-size comparison (ASAP < 4 kB vs BBB ~64 kB
+ * vs eADR ~42 MB for a 32-core server).
+ */
+
+#include <cstdio>
+
+#include "costmodel/cacti_lite.hh"
+
+using namespace asap;
+
+int
+main()
+{
+    SimConfig cfg;
+
+    struct Row
+    {
+        StructureSpec spec;
+        double paperArea, paperNs, paperW, paperR;
+    };
+    const Row rows[] = {
+        {persistBufferSpec(cfg), 0.093, 0.402, 30.0, 28.876},
+        {epochTableSpec(cfg), 0.006, 0.185, 0.428, 0.092},
+        {recoveryTableSpec(cfg), 0.097, 0.413, 31.5, 31.5},
+        {l1CacheSpec(cfg), 0.759, 1.403, 327.86, 327.85},
+    };
+
+    std::printf("=== Table V: hardware overheads (22 nm) ===\n");
+    std::printf("%-16s %19s %19s %19s %19s\n", "",
+                "area(mm^2)", "access(ns)", "writeE(pJ)",
+                "readE(pJ)");
+    std::printf("%-16s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+                "structure", "model", "paper", "model", "paper",
+                "model", "paper", "model", "paper");
+    for (const Row &row : rows) {
+        const CostEstimate est = estimateCost(row.spec);
+        std::printf("%-16s %9.3f %9.3f %9.3f %9.3f %9.2f %9.2f "
+                    "%9.2f %9.2f\n",
+                    row.spec.name.c_str(), est.areaMm2, row.paperArea,
+                    est.accessNs, row.paperNs, est.writePj, row.paperW,
+                    est.readPj, row.paperR);
+    }
+
+    std::printf("\n=== Section VII-D: power-failure drain size ===\n");
+    const unsigned serverCores = 32;
+    std::printf("ASAP (RT + WPQ, %u MCs):  %8.1f kB  (paper: < 4 kB)\n",
+                cfg.numMCs, adrDrainBytes(cfg) / 1024.0);
+    std::printf("BBB  (PBs, %u cores):     %8.1f kB  (paper: ~64 kB)\n",
+                serverCores,
+                bbbDrainBytes(cfg, serverCores) / 1024.0);
+    std::printf("eADR (caches, %u cores):  %8.1f MB  (paper: ~42 MB)\n",
+                serverCores,
+                eadrDrainBytes(cfg, serverCores) / (1024.0 * 1024.0));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Crash-recovery demo: inject power failures into a CCEH hash-table
+ * run at random points and verify, with the Section VI checker, that
+ * ASAP's undo rewind always leaves NVM in a consistent state — while
+ * showing what the recovery tables actually did at each crash.
+ */
+
+#include <cstdio>
+
+#include "harness/system.hh"
+#include "recovery/checker.hh"
+#include "sim/rng.hh"
+#include "workloads/registry.hh"
+
+using namespace asap;
+
+int
+main()
+{
+    setLogQuiet(true);
+    SimConfig cfg;
+    cfg.model = ModelKind::Asap;
+
+    WorkloadParams params;
+    params.opsPerThread = 60;
+    params.seed = 7;
+
+    // Measure an uninterrupted run to know the full runtime.
+    Tick total = 0;
+    {
+        System probe(cfg);
+        probe.loadTrace(buildTrace("cceh", cfg.numCores, params));
+        probe.run();
+        total = probe.runTicks();
+    }
+    std::printf("full run: %llu cycles; injecting crashes...\n\n",
+                static_cast<unsigned long long>(total));
+    std::printf("%10s %10s %10s %10s %10s %8s\n", "crash@", "undos",
+                "delays", "rewinds", "adrDrain", "verdict");
+
+    Rng rng(2026);
+    unsigned consistent = 0;
+    const unsigned trials = 10;
+    for (unsigned i = 0; i < trials; ++i) {
+        const Tick when = 1 + rng.below(total);
+        System sys(cfg, /*keep_run_log=*/true);
+        sys.loadTrace(buildTrace("cceh", cfg.numCores, params));
+        sys.crashAt(when);
+
+        CheckResult r = checkCrashConsistency(
+            sys.runLog(), sys.nvm(), sys.committedUpTo());
+        consistent += r.ok ? 1 : 0;
+        std::printf("%10llu %10llu %10llu %10llu %10llu %8s\n",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(
+                        sys.stats().get("rt.totalUndo")),
+                    static_cast<unsigned long long>(
+                        sys.stats().get("rt.totalDelay")),
+                    static_cast<unsigned long long>(
+                        sys.stats().get("mc.undoRewindWrites")),
+                    static_cast<unsigned long long>(
+                        sys.stats().get("mc.adrDrainWrites")),
+                    r.ok ? "OK" : "BROKEN");
+        if (!r.ok)
+            std::printf("    violation: %s\n", r.message.c_str());
+    }
+
+    std::printf("\n%u/%u crashes recovered to a consistent state.\n",
+                consistent, trials);
+    std::printf("(Theorem 2: memory is always consistent after the "
+                "ADR drain + undo rewind.)\n");
+    return consistent == trials ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Reproduce every table and figure of the ASAP paper's evaluation
+# (the counterpart of the artifact's run_all.sh + reproduce_results.py).
+#
+# Usage: scripts/reproduce_all.sh [results_dir] [--ops N]
+set -euo pipefail
+
+RESULTS="${1:-results}"
+shift || true
+BUILD="${BUILD:-build}"
+
+if [ ! -d "$BUILD" ]; then
+    echo "building into $BUILD..."
+    cmake -B "$BUILD" -G Ninja
+    cmake --build "$BUILD"
+fi
+
+mkdir -p "$RESULTS"
+for bench in fig02_epochs fig03_pb_stalls fig08_performance \
+             fig09_writes fig10_scaling fig11_pb_occupancy \
+             fig12_rt_occupancy fig13_bandwidth tab05_hwcost \
+             ablation_sensitivity; do
+    echo "=== $bench ==="
+    "$BUILD/bench/$bench" "$@" | tee "$RESULTS/$bench.txt"
+    echo
+done
+echo "results written to $RESULTS/"

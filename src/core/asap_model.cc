@@ -1,0 +1,208 @@
+#include "core/asap_model.hh"
+
+#include <memory>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+AsapModel::AsapModel(std::uint16_t thread, ModelContext &ctx)
+    : PersistModel(thread, ctx),
+      et(thread, ctx.cfg.etEntries, ctx.stats),
+      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs)
+{
+    et.setCommittableHook([this](std::uint64_t ts) { onCommittable(ts); });
+    pb.configure(
+        [this](std::uint64_t epoch) { return classify(epoch); },
+        [this](std::uint64_t epoch, std::uint64_t line, bool early) {
+            if (early)
+                et.markEarlyMc(epoch, this->ctx.amap.mcFor(line));
+            et.ackWrite(epoch);
+        },
+        [this](std::uint64_t epoch, std::uint64_t line) {
+            (void)line;
+            // NACK: fall back to conservative flushing until this
+            // epoch commits (Section V-D).
+            if (epoch > conservativeUntil)
+                conservativeUntil = epoch;
+            this->ctx.stats.inc("asap.conservativeFallbacks");
+        });
+}
+
+FlushMode
+AsapModel::classify(std::uint64_t epoch) const
+{
+    if (et.isSafe(epoch))
+        return FlushMode::Safe;
+    if (conservativeUntil != 0)
+        return FlushMode::Hold;
+    return FlushMode::Early;
+}
+
+void
+AsapModel::pmStore(std::uint64_t line, std::uint64_t value, Callback done)
+{
+    const std::uint64_t ts = et.currentEpoch();
+    et.addWrite(ts);
+    pb.enqueue(line, value, ts, std::move(done));
+}
+
+void
+AsapModel::ofence(Callback done)
+{
+    et.closeEpoch(false, [this, done = std::move(done)]() {
+        pb.kick();
+        done();
+    });
+}
+
+void
+AsapModel::dfence(Callback done)
+{
+    const Tick start = ctx.eq.now();
+    et.closeEpoch(false, [this, start, done = std::move(done)]() {
+        pb.kick();
+        et.waitAllCommitted([this, start, done]() {
+            ctx.stats.inc("core.dfenceStalled", ctx.eq.now() - start);
+            done();
+        });
+    });
+}
+
+void
+AsapModel::release(Callback done)
+{
+    // 1-sided barrier: close the epoch so the matching acquire can
+    // depend on everything before the release.
+    ofence(std::move(done));
+}
+
+void
+AsapModel::acquire(std::uint16_t src_thread, std::uint64_t src_epoch,
+                   Callback done)
+{
+    if (src_epoch == 0 || src_thread == thread) {
+        // Unsynchronised acquire (first lock acquisition or self).
+        done();
+        return;
+    }
+    et.closeEpoch(false, [this, src_thread, src_epoch,
+                          done = std::move(done)]() {
+        et.openDependentEpoch(src_thread, src_epoch);
+        if (ctx.peers[src_thread]->registerDependent(thread, src_epoch))
+            et.resolveDependency(src_thread, src_epoch);
+        pb.kick();
+        done();
+    });
+}
+
+std::uint64_t
+AsapModel::conflictSource(std::uint16_t requester)
+{
+    (void)requester;
+    const std::uint64_t cur = et.currentEpoch();
+    // Reply with the current epoch and start a new one (epoch
+    // deadlock avoidance, Section IV-E); never block the coherence
+    // response on table space.
+    et.closeEpoch(true, []() {});
+    pb.kick();
+    return cur;
+}
+
+void
+AsapModel::conflictDependent(std::uint16_t src_thread,
+                             std::uint64_t src_epoch)
+{
+    et.closeEpoch(true, [this, src_thread, src_epoch]() {
+        et.openDependentEpoch(src_thread, src_epoch);
+        if (ctx.peers[src_thread]->registerDependent(thread, src_epoch))
+            et.resolveDependency(src_thread, src_epoch);
+        pb.kick();
+    });
+}
+
+bool
+AsapModel::registerDependent(std::uint16_t dep_thread, std::uint64_t epoch)
+{
+    return et.registerDependent(dep_thread, epoch);
+}
+
+void
+AsapModel::dependencyResolved(std::uint16_t src_thread,
+                              std::uint64_t src_epoch)
+{
+    et.resolveDependency(src_thread, src_epoch);
+    pb.kick();
+}
+
+std::uint64_t
+AsapModel::currentEpoch() const
+{
+    return et.currentEpoch();
+}
+
+void
+AsapModel::onCommittable(std::uint64_t ts)
+{
+    const EpochTable::Entry *e = et.find(ts);
+    panic_if(!e, "committable hook for unknown epoch ", ts);
+    const std::uint32_t mask = e->earlyMcMask;
+    if (mask == 0) {
+        finishCommit(ts);
+        return;
+    }
+    // Send commit messages to every controller that received early
+    // flushes from this epoch; commit completes on the last ACK.
+    auto remaining = std::make_shared<unsigned>(0);
+    for (unsigned mc = 0; mc < ctx.mcs.size(); ++mc) {
+        if (mask & (1u << mc))
+            ++*remaining;
+    }
+    for (unsigned mc = 0; mc < ctx.mcs.size(); ++mc) {
+        if (!(mask & (1u << mc)))
+            continue;
+        ctx.stats.inc("asap.commitMessages");
+        ctx.eq.scheduleAfter(ctx.cfg.mcMessageLatency,
+                             [this, mc, ts, remaining]() {
+            if (crashed)
+                return;
+            ctx.mcs[mc]->receiveCommit(thread, ts,
+                                       [this, ts, remaining]() {
+                if (crashed)
+                    return;
+                if (--*remaining == 0)
+                    finishCommit(ts);
+            });
+        });
+    }
+}
+
+void
+AsapModel::finishCommit(std::uint64_t ts)
+{
+    std::vector<std::uint16_t> dependents = et.markCommitted(ts);
+    if (conservativeUntil != 0 && ts >= conservativeUntil) {
+        conservativeUntil = 0; // eager flushing resumes
+    }
+    for (std::uint16_t dep : dependents) {
+        ctx.stats.inc("asap.cdrMessages");
+        ctx.eq.scheduleAfter(ctx.cfg.interCoreLatency,
+                             [this, dep, ts]() {
+            if (crashed)
+                return;
+            ctx.peers[dep]->dependencyResolved(thread, ts);
+        });
+    }
+    pb.kick();
+}
+
+void
+AsapModel::crash()
+{
+    crashed = true;
+    pb.crash();
+}
+
+} // namespace asap

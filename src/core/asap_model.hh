@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The ASAP persistence model (the paper's contribution).
+ *
+ * Per-core persist buffer + epoch table with *eager flushing*: queued
+ * writes flush immediately, marked early when their epoch is not yet
+ * safe. Memory controllers speculatively persist early flushes,
+ * guarded by the Recovery Table. Commit protocol (Section V-C):
+ * when the oldest epoch is safe and complete, the epoch table sends
+ * commit messages to every controller that received one of its early
+ * flushes; after all commit ACKs the epoch is committed and CDR
+ * (Cross-thread Dependency Resolved) messages notify dependent
+ * threads directly. NACKed flushes flip the persist buffer into
+ * conservative flushing until the NACKed epoch commits (Section V-D).
+ */
+
+#ifndef ASAP_CORE_ASAP_MODEL_HH
+#define ASAP_CORE_ASAP_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "persist/epoch_table.hh"
+#include "persist/model.hh"
+#include "persist/persist_buffer.hh"
+
+namespace asap
+{
+
+/** ASAP per-core persistence hardware. */
+class AsapModel : public PersistModel
+{
+  public:
+    AsapModel(std::uint16_t thread, ModelContext &ctx);
+
+    void pmStore(std::uint64_t line, std::uint64_t value,
+                 Callback done) override;
+    void ofence(Callback done) override;
+    void dfence(Callback done) override;
+    void release(Callback done) override;
+    void acquire(std::uint16_t src_thread, std::uint64_t src_epoch,
+                 Callback done) override;
+    std::uint64_t conflictSource(std::uint16_t requester) override;
+    void conflictDependent(std::uint16_t src_thread,
+                           std::uint64_t src_epoch) override;
+    bool registerDependent(std::uint16_t dep_thread,
+                           std::uint64_t epoch) override;
+    void dependencyResolved(std::uint16_t src_thread,
+                            std::uint64_t src_epoch) override;
+    std::uint64_t currentEpoch() const override;
+    std::uint64_t lastCommittedEpoch() const override
+    {
+        return et.lastCommitted();
+    }
+    void crash() override;
+
+    /** Test support. */
+    EpochTable &epochTable() { return et; }
+    PersistBuffer &persistBuffer() { return pb; }
+    bool conservative() const { return conservativeUntil != 0; }
+
+  private:
+    /** The oldest epoch became safe + complete: run the commit
+     *  protocol (commit messages to MCs, then CDRs). */
+    void onCommittable(std::uint64_t ts);
+
+    /** All commit ACKs received: finalize and send CDRs. */
+    void finishCommit(std::uint64_t ts);
+
+    FlushMode classify(std::uint64_t epoch) const;
+
+    EpochTable et;
+    PersistBuffer pb;
+
+    /** Non-zero: NACK received; eager flushing paused until the epoch
+     *  with this timestamp commits. */
+    std::uint64_t conservativeUntil = 0;
+    bool crashed = false;
+};
+
+} // namespace asap
+
+#endif // ASAP_CORE_ASAP_MODEL_HH

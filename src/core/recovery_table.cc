@@ -1,0 +1,179 @@
+#include "core/recovery_table.hh"
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+RecoveryTable::RecoveryTable(unsigned mc_id, unsigned capacity,
+                             StatSet &stats)
+    : mcId(mc_id), capacity(capacity), stats(stats),
+      statPrefix("rt" + std::to_string(mc_id) + ".")
+{
+    fatal_if(capacity == 0, "recovery table needs at least one entry");
+}
+
+std::size_t
+RecoveryTable::occupancy() const
+{
+    return undos.size() + delays.size();
+}
+
+void
+RecoveryTable::statMax()
+{
+    stats.maxTo(statPrefix + "maxOccupancy", occupancy());
+    stats.maxTo("rt.maxOccupancy", occupancy());
+}
+
+bool
+RecoveryTable::nackPending(std::uint64_t line) const
+{
+    return nackBloom.test(line);
+}
+
+bool
+RecoveryTable::hasUndo(std::uint64_t line) const
+{
+    return undos.count(line) != 0;
+}
+
+std::uint64_t
+RecoveryTable::undoValue(std::uint64_t line) const
+{
+    auto it = undos.find(line);
+    return it == undos.end() ? 0 : it->second.value;
+}
+
+FlushAction
+RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
+{
+    auto uit = undos.find(pkt.line);
+
+    // A later same-epoch flush to a line with a parked delay record
+    // must coalesce into it — whatever happened to the undo record in
+    // between — or the commit-time release would resurrect the older
+    // parked value over the newer one.
+    for (DelayRecord &d : delays) {
+        if (d.line == pkt.line && d.thread == pkt.thread &&
+            d.epoch == pkt.epoch) {
+            d.value = pkt.value;
+            stats.inc("rt.delayCoalesced");
+            if (!pkt.early) {
+                auto nit = nackedLines.find(pkt.line);
+                if (nit != nackedLines.end()) {
+                    nackedLines.erase(nit);
+                    nackBloom.remove(pkt.line);
+                }
+            }
+            return FlushAction::CreateDelay;
+        }
+    }
+
+    if (!pkt.early) {
+        // A (possibly retried) safe flush arrived: the NACK hold on
+        // this line, if any, is lifted.
+        auto nit = nackedLines.find(pkt.line);
+        if (nit != nackedLines.end()) {
+            nackedLines.erase(nit);
+            nackBloom.remove(pkt.line);
+        }
+        if (uit != undos.end()) {
+            if (uit->second.thread == pkt.thread &&
+                uit->second.epoch == pkt.epoch) {
+                // The undo record was created by this very epoch: the
+                // speculative value in memory is an *older* write of
+                // the same epoch (flushed early before the epoch
+                // became safe), so the incoming value is newer and
+                // must reach memory. The undo record keeps the
+                // pre-epoch value for rewind.
+                stats.inc("rt.sameEpochWriteThrough");
+                return FlushAction::WriteMemory;
+            }
+            // Memory already holds a speculative later value from a
+            // younger epoch; the safe flush becomes the new safe
+            // state inside the undo record (Table I, row 1 / col 2).
+            uit->second.value = pkt.value;
+            return FlushAction::SuppressWrite;
+        }
+        return FlushAction::WriteMemory;
+    }
+
+    // Early flush.
+    if (uit != undos.end()) {
+        // Write collision: park the value in a delay record
+        // (Table I, row 2 / column 2).
+        if (occupancy() >= capacity) {
+            nackedLines.insert(pkt.line);
+            nackBloom.insert(pkt.line);
+            stats.inc("rt.nacks");
+            return FlushAction::Nack;
+        }
+        delays.push_back(
+            DelayRecord{pkt.line, pkt.value, pkt.thread, pkt.epoch});
+        stats.inc("rt.totalDelay");
+        statMax();
+        return FlushAction::CreateDelay;
+    }
+
+    // No undo record: snapshot the safe value and let the controller
+    // speculatively update memory (Table I, row 2 / column 1).
+    if (occupancy() >= capacity) {
+        nackedLines.insert(pkt.line);
+        nackBloom.insert(pkt.line);
+        stats.inc("rt.nacks");
+        return FlushAction::Nack;
+    }
+    undos.emplace(pkt.line,
+                  UndoRecord{current_value, pkt.thread, pkt.epoch});
+    stats.inc("rt.totalUndo");
+    statMax();
+    return FlushAction::CreateUndoAndWrite;
+}
+
+void
+RecoveryTable::onCommit(std::uint16_t thread, std::uint64_t epoch,
+                        const WriteOutFn &write_out)
+{
+    // Delete the committing epoch's undo records first: its
+    // speculative values in memory are now the safe values. Doing
+    // this before releasing delay records makes a same-epoch delayed
+    // value reach memory instead of being absorbed into a dying
+    // undo record.
+    for (auto it = undos.begin(); it != undos.end();) {
+        if (it->second.thread == thread && it->second.epoch == epoch)
+            it = undos.erase(it);
+        else
+            ++it;
+    }
+
+    // Release the epoch's delay records as if the flushes had just
+    // arrived, now safe (Section V-C).
+    for (auto it = delays.begin(); it != delays.end();) {
+        if (it->thread == thread && it->epoch == epoch) {
+            auto uit = undos.find(it->line);
+            if (uit != undos.end()) {
+                uit->second.value = it->value;
+                stats.inc("rt.delayAbsorbed");
+            } else {
+                write_out(it->line, it->value);
+            }
+            it = delays.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+RecoveryTable::onCrash(const WriteOutFn &write_out)
+{
+    // Rewind every speculative update; delay records belong to
+    // uncommitted epochs and are discarded (Section V-E).
+    for (const auto &[line, rec] : undos)
+        write_out(line, rec.value);
+    undos.clear();
+    delays.clear();
+}
+
+} // namespace asap

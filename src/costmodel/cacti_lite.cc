@@ -1,0 +1,118 @@
+#include "costmodel/cacti_lite.hh"
+
+#include <cmath>
+
+namespace asap
+{
+
+namespace
+{
+// Coefficients calibrated against CACTI 7 @22 nm (paper Table V).
+// CAM structures (tag-searched): area/energy grow super-linearly in
+// total bits (match lines + priority encoders); RAM arrays scale
+// more gently per bit but carry larger peripheral overheads.
+constexpr double camAreaCoeff = 1.62e-6;  // mm^2 per bits^1.12
+constexpr double camAreaExp = 1.12;
+constexpr double camLatBase = 0.0925;     // ns
+constexpr double camLatCoeff = 0.00236;   // ns per sqrt(bit)
+constexpr double camEnergyCoeff = 1.30e-6; // pJ per bits^1.73
+constexpr double camEnergyExp = 1.73;
+
+constexpr double ramAreaCoeff = 2.69e-6;  // mm^2 per bit
+constexpr double ramLatBase = 0.40;       // ns
+constexpr double ramLatCoeff = 0.0019;    // ns per sqrt(bit)
+constexpr double ramEnergyCoeff = 1.163e-3; // pJ per bit
+} // namespace
+
+CostEstimate
+estimateCost(const StructureSpec &spec)
+{
+    const double bits =
+        static_cast<double>(spec.entries) * spec.bitsPerEntry;
+    CostEstimate est;
+    if (spec.cam) {
+        est.areaMm2 = camAreaCoeff * std::pow(bits, camAreaExp);
+        est.accessNs = camLatBase + camLatCoeff * std::sqrt(bits);
+        est.writePj = camEnergyCoeff * std::pow(bits, camEnergyExp);
+    } else {
+        est.areaMm2 = ramAreaCoeff * bits;
+        est.accessNs = ramLatBase + ramLatCoeff * std::sqrt(bits);
+        est.writePj = ramEnergyCoeff * bits;
+    }
+    est.readPj = est.writePj * spec.readFactor;
+    return est;
+}
+
+namespace
+{
+/** Physical line-address width for a 46-bit address space. */
+constexpr unsigned lineAddrBits = 40;
+constexpr unsigned dataBits = 8 * 64; // one cache line
+constexpr unsigned epochBits = 16;
+constexpr unsigned threadBits = 6;
+} // namespace
+
+StructureSpec
+persistBufferSpec(const SimConfig &cfg)
+{
+    // Entry: line address + data + epoch timestamp + state bits.
+    return StructureSpec{"Persist Buffer", cfg.pbEntries,
+                         lineAddrBits + dataBits + epochBits + 6,
+                         /*cam=*/true, /*readFactor=*/0.963};
+}
+
+StructureSpec
+epochTableSpec(const SimConfig &cfg)
+{
+    // Entry: timestamp, pending count, dependency (thread+epoch),
+    // dependent list head, flags. No addresses, no data.
+    return StructureSpec{"Epoch Table", cfg.etEntries,
+                         epochBits + 8 + threadBits + epochBits + 2,
+                         /*cam=*/true, /*readFactor=*/0.215};
+}
+
+StructureSpec
+recoveryTableSpec(const SimConfig &cfg)
+{
+    // Entry: line address + data + creator thread + epoch.
+    return StructureSpec{"Recovery Table", cfg.rtEntries,
+                         lineAddrBits + dataBits + threadBits +
+                             epochBits,
+                         /*cam=*/true, /*readFactor=*/1.0};
+}
+
+StructureSpec
+l1CacheSpec(const SimConfig &cfg)
+{
+    // 32 kB data + tags.
+    const unsigned lines = cfg.l1Sets * cfg.l1Ways;
+    const unsigned tagBits = 28;
+    return StructureSpec{"32KB L1 cache", lines, dataBits + tagBits,
+                         /*cam=*/false, /*readFactor=*/1.0};
+}
+
+double
+adrDrainBytes(const SimConfig &cfg)
+{
+    // Each undo record drains its line of data; the WPQ drain is
+    // pre-existing ADR behaviour and is not counted against ASAP.
+    return 64.0 * cfg.rtEntries * cfg.numMCs;
+}
+
+double
+bbbDrainBytes(const SimConfig &cfg, unsigned cores)
+{
+    return 64.0 * cfg.pbEntries * cores;
+}
+
+double
+eadrDrainBytes(const SimConfig &cfg, unsigned cores,
+               double dirty_fraction)
+{
+    const double l1 = cfg.l1Sets * cfg.l1Ways * 64.0;
+    const double l2 = cfg.l2Sets * cfg.l2Ways * 64.0;
+    const double llc = cfg.llcSets * cfg.llcWays * 64.0;
+    return dirty_fraction * (cores * (l1 + l2) + llc);
+}
+
+} // namespace asap

@@ -1,0 +1,178 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "mem/packets.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+
+Core::Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
+           StatSet &stats, CacheHierarchy &caches, ReleaseBoard &board,
+           std::vector<PersistModel *> &models, RunLog *log,
+           const std::vector<TraceOp> &ops)
+    : thread(thread), cfg(cfg), eq(eq), stats(stats), caches(caches),
+      board(board), models(models), log(log), ops(ops),
+      epConflicts(cfg.persistency == PersistencyModel::Epoch &&
+                  (cfg.model == ModelKind::Hops ||
+                   cfg.model == ModelKind::Asap))
+{
+}
+
+void
+Core::start()
+{
+    eq.scheduleAfter(0, [this]() { next(); });
+}
+
+void
+Core::scheduleNext(Tick delay)
+{
+    eq.scheduleAfter(std::max<Tick>(delay, 1), [this]() { next(); });
+}
+
+void
+Core::handleConflict(const CacheAccess &acc)
+{
+    if (!epConflicts || !acc.conflict)
+        return;
+    // MESI forwarded the request to the modifying core: it replies
+    // with its current epoch and both sides split epochs.
+    const std::uint64_t src_epoch =
+        models[acc.srcThread]->conflictSource(thread);
+    if (src_epoch == 0)
+        return;
+    model().conflictDependent(acc.srcThread, src_epoch);
+    if (log) {
+        log->recordEdge(thread, model().currentEpoch(), acc.srcThread,
+                        src_epoch);
+    }
+}
+
+void
+Core::next()
+{
+    if (halted || done)
+        return;
+    panic_if(pc >= ops.size(), "core ", thread, " ran off its trace");
+    const TraceOp &op = ops[pc++];
+    stats.inc("core.opsRetired");
+
+    switch (op.type) {
+      case OpType::Compute:
+        scheduleNext(op.cycles);
+        return;
+
+      case OpType::Load: {
+        CacheAccess acc =
+            caches.access(thread, lineOf(op.addr), false, op.isPm);
+        handleConflict(acc);
+        scheduleNext(acc.latency);
+        return;
+      }
+
+      case OpType::Store: {
+        CacheAccess acc =
+            caches.access(thread, lineOf(op.addr), true, op.isPm);
+        handleConflict(acc);
+        if (!op.isPm) {
+            scheduleNext(1);
+            return;
+        }
+        stats.inc("core.pmStores");
+        if (log) {
+            log->recordStore(thread, model().currentEpoch(),
+                             lineOf(op.addr), op.value);
+        }
+        model().pmStore(lineOf(op.addr), op.value,
+                        [this]() { scheduleNext(1); });
+        return;
+      }
+
+      case OpType::OFence:
+        stats.inc("core.ofences");
+        model().ofence([this]() { scheduleNext(1); });
+        return;
+
+      case OpType::DFence:
+        stats.inc("core.dfences");
+        model().dfence([this]() { scheduleNext(1); });
+        return;
+
+      case OpType::Release: {
+        stats.inc("core.releases");
+        // Capture the epoch being published before the 1-sided
+        // barrier closes it.
+        const std::uint64_t rel_epoch = model().currentEpoch();
+        const std::uint64_t lock_line = lineOf(op.addr);
+        model().release([this, rel_epoch, lock_line]() {
+            // The release writes the lock word; under EP an acquiring
+            // thread's access to it raises the dependency.
+            CacheAccess acc =
+                caches.access(thread, lock_line, true, false);
+            (void)acc; // the releaser itself never self-conflicts
+            board.publish(thread, rel_epoch);
+            scheduleNext(1);
+        });
+        return;
+      }
+
+      case OpType::Acquire: {
+        stats.inc("core.acquires");
+        const TraceOp &aop = op;
+        auto proceed = [this, aop]() {
+            CacheAccess acc =
+                caches.access(thread, lineOf(aop.addr), true, false);
+            if (epConflicts) {
+                // EP: the lock-word conflict raises the dependency.
+                handleConflict(acc);
+                scheduleNext(std::max<Tick>(acc.latency, 1));
+                return;
+            }
+            if (aop.srcThread >= 0 &&
+                static_cast<std::uint16_t>(aop.srcThread) != thread &&
+                cfg.persistency == PersistencyModel::Release) {
+                const auto src =
+                    static_cast<std::uint16_t>(aop.srcThread);
+                const std::uint64_t src_epoch =
+                    board.epochAt(src, aop.srcRelease);
+                const Tick lat = std::max<Tick>(acc.latency, 1);
+                model().acquire(src, src_epoch, [this, src, src_epoch,
+                                                 lat]() {
+                    if (log && src_epoch != 0) {
+                        log->recordEdge(thread, model().currentEpoch(),
+                                        src, src_epoch);
+                    }
+                    scheduleNext(lat);
+                });
+                return;
+            }
+            scheduleNext(std::max<Tick>(acc.latency, 1));
+        };
+        if (aop.srcThread >= 0) {
+            board.wait(static_cast<std::uint16_t>(aop.srcThread),
+                       aop.srcRelease, [this, proceed]() {
+                // Lock handoff: the released line travels
+                // cache-to-cache before the spinner proceeds.
+                eq.scheduleAfter(cfg.cacheToCacheLatency, proceed);
+            });
+        } else {
+            proceed();
+        }
+        return;
+      }
+
+      case OpType::End:
+        // Threads drain their persistence state before exiting.
+        model().dfence([this]() {
+            done = true;
+            doneTick = eq.now();
+            stats.inc("core.threadsFinished");
+        });
+        return;
+    }
+    panic("unhandled op type");
+}
+
+} // namespace asap

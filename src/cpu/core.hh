@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Timing core: replays one thread's trace.
+ *
+ * A simple in-order timing core (the role gem5's TimingSimpleCPU plays
+ * in the artifact's warmup phases): loads block for their cache
+ * latency, stores retire in a cycle into the caches and the persist
+ * path, fences invoke the persistence model and stall as long as the
+ * model defers completion, and acquires block on the release board
+ * until the matching release has executed in simulated time.
+ *
+ * Under epoch persistency the core turns directory conflicts into
+ * cross-thread epoch dependencies (conflictSource / conflictDependent
+ * on the models); under release persistency only acquire/release
+ * create dependencies and conflicts are ignored (race-free code,
+ * Section IV-E).
+ */
+
+#ifndef ASAP_CPU_CORE_HH
+#define ASAP_CPU_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "coherence/cache_hierarchy.hh"
+#include "cpu/op.hh"
+#include "cpu/release_board.hh"
+#include "persist/model.hh"
+#include "recovery/run_log.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace asap
+{
+
+/** One replaying core. */
+class Core
+{
+  public:
+    Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
+         StatSet &stats, CacheHierarchy &caches, ReleaseBoard &board,
+         std::vector<PersistModel *> &models, RunLog *log,
+         const std::vector<TraceOp> &ops);
+
+    /** Schedule the first operation. */
+    void start();
+
+    bool finished() const { return done; }
+    Tick finishTick() const { return doneTick; }
+
+    /** Stop processing (crash injection). */
+    void halt() { halted = true; }
+
+    /** Operations retired so far. */
+    std::uint64_t retired() const { return pc; }
+
+  private:
+    void next();
+    void scheduleNext(Tick delay);
+
+    /** Handle a directory conflict under epoch persistency. */
+    void handleConflict(const CacheAccess &acc);
+
+    PersistModel &model() { return *models[thread]; }
+
+    std::uint16_t thread;
+    const SimConfig &cfg;
+    EventQueue &eq;
+    StatSet &stats;
+    CacheHierarchy &caches;
+    ReleaseBoard &board;
+    std::vector<PersistModel *> &models;
+    RunLog *log;
+    const std::vector<TraceOp> &ops;
+
+    bool epConflicts; //!< EP mode with dependency-tracking hardware
+
+    std::size_t pc = 0;
+    bool done = false;
+    bool halted = false;
+    Tick doneTick = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_CPU_CORE_HH

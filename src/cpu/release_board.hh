@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Release board: simulated-time lock handoff.
+ *
+ * Release operations publish (thread, ordinal, epoch-at-release);
+ * acquire operations that reference a (thread, ordinal) pair block
+ * until that release has executed in simulated time. This replays the
+ * synchronisation schedule captured at trace-generation time while
+ * letting contention and handoff latency emerge from the simulation.
+ */
+
+#ifndef ASAP_CPU_RELEASE_BOARD_HH
+#define ASAP_CPU_RELEASE_BOARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+/** Tracks executed releases and wakes blocked acquires. */
+class ReleaseBoard
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit ReleaseBoard(unsigned num_threads)
+        : perThread(num_threads)
+    {
+    }
+
+    /**
+     * Thread @p thread executed its next release while in persistency
+     * epoch @p epoch.
+     * @return the release's 1-based ordinal
+     */
+    std::uint64_t
+    publish(std::uint16_t thread, std::uint64_t epoch)
+    {
+        PerThread &pt = perThread.at(thread);
+        pt.epochs.push_back(epoch);
+        const std::uint64_t ordinal = pt.epochs.size();
+        // Wake acquires waiting on this ordinal.
+        auto &ws = pt.waiters;
+        for (std::size_t i = 0; i < ws.size();) {
+            if (ws[i].ordinal <= ordinal) {
+                Callback cb = std::move(ws[i].cb);
+                ws[i] = std::move(ws.back());
+                ws.pop_back();
+                cb();
+            } else {
+                ++i;
+            }
+        }
+        return ordinal;
+    }
+
+    /**
+     * Run @p cb once release @p ordinal of @p thread has executed
+     * (immediately if it already has).
+     */
+    void
+    wait(std::uint16_t thread, std::uint64_t ordinal, Callback cb)
+    {
+        PerThread &pt = perThread.at(thread);
+        if (pt.epochs.size() >= ordinal) {
+            cb();
+            return;
+        }
+        pt.waiters.push_back(Waiter{ordinal, std::move(cb)});
+    }
+
+    /** Epoch the releasing thread was in at release @p ordinal. */
+    std::uint64_t
+    epochAt(std::uint16_t thread, std::uint64_t ordinal) const
+    {
+        const PerThread &pt = perThread.at(thread);
+        panic_if(ordinal == 0 || ordinal > pt.epochs.size(),
+                 "epochAt for unexecuted release");
+        return pt.epochs[ordinal - 1];
+    }
+
+    /** Number of releases thread has executed. */
+    std::uint64_t
+    count(std::uint16_t thread) const
+    {
+        return perThread.at(thread).epochs.size();
+    }
+
+  private:
+    struct Waiter
+    {
+        std::uint64_t ordinal;
+        Callback cb;
+    };
+
+    struct PerThread
+    {
+        std::vector<std::uint64_t> epochs;
+        std::vector<Waiter> waiters;
+    };
+
+    std::vector<PerThread> perThread;
+};
+
+} // namespace asap
+
+#endif // ASAP_CPU_RELEASE_BOARD_HH

@@ -1,0 +1,79 @@
+#include "harness/runner.hh"
+
+#include <utility>
+
+#include "harness/system.hh"
+#include "sim/log.hh"
+#include "workloads/registry.hh"
+#include "workloads/synthetic.hh"
+
+namespace asap
+{
+
+RunResult
+runExperiment(const std::string &workload, const SimConfig &cfg,
+              const WorkloadParams &p)
+{
+    TraceSet traces;
+    if (workload == "bandwidth") {
+        TraceRecorder rec(cfg.numCores, p.seed);
+        genBandwidthMicrobench(rec, p.opsPerThread);
+        traces = rec.finish();
+    } else if (workload == "handoff") {
+        TraceRecorder rec(cfg.numCores, p.seed);
+        genHandoffMicrobench(rec, p.opsPerThread);
+        traces = rec.finish();
+    } else {
+        traces = buildTrace(workload, cfg.numCores, p);
+    }
+
+    System sys(cfg);
+    sys.loadTrace(std::move(traces));
+    const bool finished = sys.run();
+    if (!finished)
+        warn("experiment ", workload, " did not finish");
+
+    StatSet &s = sys.stats();
+    RunResult r;
+    r.workload = workload;
+    r.model = cfg.model;
+    r.persistency = cfg.persistency;
+    r.cores = cfg.numCores;
+    r.runTicks = sys.runTicks();
+    r.pmWrites = s.get("mc.pmWrites");
+    r.pmReads = s.get("mc.pmReads");
+    r.cyclesBlocked = s.get("pb.cyclesBlocked");
+    r.cyclesStalled = s.get("pb.cyclesStalled");
+    r.dfenceStalled = s.get("core.dfenceStalled");
+    r.sfenceStalled = s.get("core.sfenceStalled");
+    r.entriesInserted = s.get("pb.entriesInserted");
+    r.epochs = s.get("et.epochsOpened");
+    r.crossDeps = s.get("et.interTEpochConflict");
+    r.totSpecWrites = s.get("pb.totSpecWrites");
+    r.totalUndo = s.get("rt.totalUndo");
+    r.totalDelay = s.get("rt.totalDelay");
+    r.nacks = s.get("rt.nacks");
+    r.rtMaxOccupancy = s.get("rt.maxOccupancy");
+    r.wpqCoalesced = s.get("mc.wpqCoalesced");
+    r.suppressedWrites = s.get("mc.suppressedWrites");
+    if (s.hasDist("pb.occupancy")) {
+        r.pbOccMean = s.dist("pb.occupancy").mean();
+        r.pbOccP99 = s.dist("pb.occupancy").percentile(99.0);
+    }
+    return r;
+}
+
+RunResult
+runExperiment(const std::string &workload, ModelKind model,
+              PersistencyModel pm, unsigned cores,
+              const WorkloadParams &p)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.persistency = pm;
+    cfg.numCores = cores;
+    cfg.seed = p.seed;
+    return runExperiment(workload, cfg, p);
+}
+
+} // namespace asap

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Experiment runner: one call = one gem5-style simulation.
+ *
+ * Wraps trace generation + system construction + replay and returns
+ * the stats the paper's figures are built from (Table VI names).
+ */
+
+#ifndef ASAP_HARNESS_RUNNER_HH
+#define ASAP_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Everything a figure needs from one simulation. */
+struct RunResult
+{
+    std::string workload;
+    ModelKind model;
+    PersistencyModel persistency;
+    unsigned cores = 0;
+
+    std::uint64_t runTicks = 0;      //!< execution time (cycles)
+    std::uint64_t pmWrites = 0;      //!< media writes (Figure 9)
+    std::uint64_t pmReads = 0;       //!< media reads (undo misses)
+    std::uint64_t cyclesBlocked = 0; //!< PB blocked cycles (Figure 3)
+    std::uint64_t cyclesStalled = 0; //!< core stalls on full PB
+    std::uint64_t dfenceStalled = 0; //!< dfence stall cycles
+    std::uint64_t sfenceStalled = 0; //!< baseline sfence stall cycles
+    std::uint64_t entriesInserted = 0; //!< PB enqueues
+    std::uint64_t epochs = 0;          //!< epochs opened (Figure 2)
+    std::uint64_t crossDeps = 0;       //!< interTEpochConflict (Fig. 2)
+    std::uint64_t totSpecWrites = 0;   //!< early flushes
+    std::uint64_t totalUndo = 0;       //!< undo records created
+    std::uint64_t totalDelay = 0;      //!< delay records created
+    std::uint64_t nacks = 0;           //!< RT NACKs
+    std::uint64_t rtMaxOccupancy = 0;  //!< Figure 12
+    double pbOccMean = 0.0;            //!< Figure 11
+    std::uint64_t pbOccP99 = 0;        //!< Figure 11
+    std::uint64_t wpqCoalesced = 0;
+    std::uint64_t suppressedWrites = 0;
+
+    /** Per-core cycles, for normalising blocked/stall percentages. */
+    std::uint64_t totalCoreCycles() const { return runTicks * cores; }
+};
+
+/** Run one workload under one configuration. */
+RunResult runExperiment(const std::string &workload,
+                        const SimConfig &cfg, const WorkloadParams &p);
+
+/** Convenience wrapper building the SimConfig from parts. */
+RunResult runExperiment(const std::string &workload, ModelKind model,
+                        PersistencyModel pm, unsigned cores,
+                        const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_HARNESS_RUNNER_HH

@@ -1,0 +1,253 @@
+#include "mem/memory_controller.hh"
+
+#include <memory>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+/** Fixed pipeline cost for classifying an incoming packet. */
+constexpr Tick mcProcCost = 4;
+/** Fixed pipeline cost for processing a commit message. */
+constexpr Tick mcCommitCost = 8;
+} // namespace
+
+MemoryController::MemoryController(unsigned id, const SimConfig &cfg,
+                                   EventQueue &eq, NvmContents &media,
+                                   StatSet &stats)
+    : id_(id), cfg(cfg), eq(eq), media(media), stats(stats),
+      wpq(cfg.wpqEntries), xpBuffer(cfg.xpBufferLines),
+      statPrefix("mc" + std::to_string(id) + ".")
+{
+}
+
+void
+MemoryController::statInc(const char *name, std::uint64_t delta)
+{
+    stats.inc(statPrefix + name, delta);
+    stats.inc(std::string("mc.") + name, delta);
+}
+
+std::uint64_t
+MemoryController::durableValue(std::uint64_t line) const
+{
+    if (wpq.contains(line))
+        return wpq.pendingValue(line);
+    return media.read(line);
+}
+
+std::size_t
+MemoryController::rtOccupancy() const
+{
+    return policy_ ? policy_->occupancy() : 0;
+}
+
+void
+MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
+{
+    if (crashed)
+        return;
+    statInc("flushesReceived");
+    if (pkt.early)
+        statInc("earlyFlushesReceived");
+
+    const std::uint64_t current = durableValue(pkt.line);
+    FlushAction action = FlushAction::WriteMemory;
+    if (policy_) {
+        action = policy_->onFlush(pkt, current);
+    } else {
+        panic_if(pkt.early, "early flush arrived at a controller with no "
+                 "recovery policy");
+    }
+
+    const Tick ackLink = cfg.mcMessageLatency;
+    switch (action) {
+      case FlushAction::WriteMemory:
+        enqueueWrite(pkt.line, pkt.value, 0, [this, cb, ackLink]() {
+            eq.scheduleAfter(ackLink, [cb]() { cb(FlushReply::Ack); });
+        });
+        break;
+
+      case FlushAction::SuppressWrite:
+        // The value was absorbed into an existing undo record; no
+        // media write happens (write-endurance win, Section VII-A).
+        statInc("suppressedWrites");
+        eq.scheduleAfter(mcProcCost + ackLink,
+                         [cb]() { cb(FlushReply::Ack); });
+        break;
+
+      case FlushAction::CreateUndoAndWrite: {
+        // The undo snapshot read logically precedes the speculative
+        // media update, but the write is durable (and ACKed) once it
+        // sits in the WPQ next to its undo record; the read only
+        // lengthens that entry's media service time. It is cheap when
+        // the line is WPQ-pending or hot in the XPBuffer, a full
+        // media read otherwise.
+        const bool fast = wpq.contains(pkt.line) || xpBuffer.hit(pkt.line);
+        const Tick readLat =
+            fast ? cfg.xpBufferHitLatency : cfg.pmReadLatency;
+        statInc("undoReads");
+        if (!fast)
+            statInc("pmReads");
+        xpBuffer.touch(pkt.line);
+        enqueueWrite(pkt.line, pkt.value, readLat,
+                     [this, cb, ackLink]() {
+            eq.scheduleAfter(ackLink, [cb]() { cb(FlushReply::Ack); });
+        });
+        break;
+      }
+
+      case FlushAction::CreateDelay:
+        statInc("delaysCreated");
+        eq.scheduleAfter(mcProcCost + ackLink,
+                         [cb]() { cb(FlushReply::Ack); });
+        break;
+
+      case FlushAction::Nack:
+        statInc("nacksSent");
+        eq.scheduleAfter(mcProcCost + ackLink,
+                         [cb]() { cb(FlushReply::Nack); });
+        break;
+    }
+}
+
+void
+MemoryController::receiveCommit(std::uint16_t thread, std::uint64_t epoch,
+                                std::function<void()> ack_cb)
+{
+    if (crashed)
+        return;
+    statInc("commitsReceived");
+    panic_if(!policy_, "commit message at a controller with no policy");
+    // The commit may release delay-record writes; they are durable
+    // only once inside the WPQ (the ADR domain), so the commit ACK —
+    // which lets the epoch commit and dependents proceed — must wait
+    // for every released write to be accepted.
+    auto pending = std::make_shared<unsigned>(1);
+    auto finish = [pending, cb = std::move(ack_cb)]() {
+        if (--*pending == 0)
+            cb();
+    };
+    policy_->onCommit(thread, epoch,
+                      [this, pending, finish](std::uint64_t line,
+                                              std::uint64_t value) {
+                          statInc("delayWritesReleased");
+                          ++*pending;
+                          enqueueWrite(line, value, 0, finish);
+                      });
+    eq.scheduleAfter(mcCommitCost + cfg.mcMessageLatency, finish);
+}
+
+void
+MemoryController::enqueueWrite(std::uint64_t line, std::uint64_t value,
+                               std::uint64_t extra_latency,
+                               std::function<void()> on_inserted)
+{
+    switch (wpq.insert(line, value, extra_latency, eq.now())) {
+      case Wpq::Insert::Queued:
+        on_inserted();
+        tryIssueBanks();
+        break;
+      case Wpq::Insert::Coalesced:
+        statInc("wpqCoalesced");
+        on_inserted();
+        break;
+      case Wpq::Insert::Full:
+        statInc("wpqFullStalls");
+        overflow.push_back(OverflowWrite{line, value, extra_latency,
+                                         std::move(on_inserted)});
+        break;
+    }
+}
+
+void
+MemoryController::tryIssueBanks()
+{
+    while (busyBanks < cfg.nvmBanks && !wpq.empty()) {
+        auto [line, value, extra, inserted] = wpq.front();
+        // Write-combining window: a young entry waits (unless the
+        // queue is under pressure) so same-line writes coalesce; the
+        // entry is already durable in the WPQ either way.
+        const Tick ripe = inserted + cfg.wpqCombineWindow;
+        if (eq.now() < ripe && wpq.size() < cfg.wpqEntries / 2 &&
+            overflow.empty()) {
+            if (!drainCheckScheduled) {
+                drainCheckScheduled = true;
+                eq.schedule(ripe, [this]() {
+                    drainCheckScheduled = false;
+                    if (!crashed)
+                        tryIssueBanks();
+                });
+            }
+            break;
+        }
+        wpq.pop();
+        admitOverflow();
+        ++busyBanks;
+        // Functional media state updates at issue time so same-line
+        // writes apply in WPQ order regardless of their service
+        // latencies; the events below model timing only. The write
+        // leaving the WPQ is still inside the controller and reaches
+        // the media even on a power failure (ADR).
+        media.write(line, value);
+        xpBuffer.touch(line);
+        statInc("pmWrites");
+        // The undo-snapshot read (extra) is served by the separate
+        // read path whose bandwidth far exceeds write bandwidth
+        // (Section V-A), so it does not extend the write bank's
+        // occupancy; it is accounted in the pmReads statistics.
+        (void)extra;
+        eq.scheduleAfter(cfg.pmWriteLatency, [this]() {
+            if (crashed)
+                return;
+            --busyBanks;
+            tryIssueBanks();
+        });
+    }
+}
+
+void
+MemoryController::admitOverflow()
+{
+    while (!overflow.empty() && !wpq.full()) {
+        OverflowWrite w = std::move(overflow.front());
+        overflow.pop_front();
+        switch (wpq.insert(w.line, w.value, w.extraLatency, eq.now())) {
+          case Wpq::Insert::Queued:
+            w.onInserted();
+            break;
+          case Wpq::Insert::Coalesced:
+            statInc("wpqCoalesced");
+            w.onInserted();
+            break;
+          case Wpq::Insert::Full:
+            panic("WPQ full immediately after freeing a slot");
+        }
+    }
+}
+
+void
+MemoryController::crash()
+{
+    crashed = true;
+    // ADR drains the WPQ to the media.
+    for (auto &[line, value] : wpq.drainAll()) {
+        media.write(line, value);
+        statInc("adrDrainWrites");
+    }
+    // Writes never accepted into the WPQ are lost (never ACKed).
+    overflow.clear();
+    // Finally, undo records rewind every speculative update.
+    if (policy_) {
+        policy_->onCrash([this](std::uint64_t line, std::uint64_t value) {
+            media.write(line, value);
+            statInc("undoRewindWrites");
+        });
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Message types exchanged between the persist path and the memory
+ * controllers.
+ *
+ * All persistence traffic is line granular (64 B): a flush carries a
+ * line address and an opaque 64-bit token value. Token values are
+ * unique per store, which lets the recovery checker identify exactly
+ * which store survived a crash.
+ */
+
+#ifndef ASAP_MEM_PACKETS_HH
+#define ASAP_MEM_PACKETS_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace asap
+{
+
+/** Cache-line size used throughout the system. */
+constexpr unsigned lineBytes = 64;
+
+/** Byte address -> line address. */
+constexpr std::uint64_t
+lineOf(std::uint64_t byte_addr)
+{
+    return byte_addr / lineBytes;
+}
+
+/** A write-back travelling from a persist buffer to a controller. */
+struct FlushPacket
+{
+    std::uint64_t line;     //!< line address (byte address / 64)
+    std::uint64_t value;    //!< unique store token written to the line
+    std::uint16_t thread;   //!< issuing hardware thread
+    std::uint64_t epoch;    //!< epoch timestamp the write belongs to
+    bool early;             //!< true if flushed before the epoch is safe
+};
+
+/** Memory controller's response to a flush. */
+enum class FlushReply
+{
+    Ack,    //!< write accepted into the persistence domain
+    Nack,   //!< rejected: recovery table full (ASAP back-pressure)
+};
+
+/** Completion callback for a flush request. */
+using FlushCallback = std::function<void(FlushReply)>;
+
+} // namespace asap
+
+#endif // ASAP_MEM_PACKETS_HH

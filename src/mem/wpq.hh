@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Write Pending Queue (WPQ) model.
+ *
+ * The WPQ is the small buffer inside each memory controller that is
+ * part of the ADR persistence domain: once a write is accepted here it
+ * survives power failure (Section II-C). Writes drain from the WPQ to
+ * the NVM media. Writes to a line already pending coalesce in place,
+ * which is one of ASAP's write-endurance wins (Section VII-A).
+ */
+
+#ifndef ASAP_MEM_WPQ_HH
+#define ASAP_MEM_WPQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace asap
+{
+
+/** FIFO of pending media writes with in-place coalescing. */
+class Wpq
+{
+  public:
+    /** Outcome of an insertion attempt. */
+    enum class Insert
+    {
+        Queued,     //!< new entry allocated
+        Coalesced,  //!< merged into an existing same-line entry
+        Full,       //!< no space; caller must retry later
+    };
+
+    explicit Wpq(unsigned capacity) : cap(capacity) {}
+
+    /**
+     * Try to add (or coalesce) a pending write.
+     *
+     * @param extra_latency additional media-service latency this write
+     *        requires (an undo-snapshot read issued before the
+     *        speculative update; coalescing keeps the maximum)
+     */
+    Insert
+    insert(std::uint64_t line, std::uint64_t value,
+           std::uint64_t extra_latency = 0, std::uint64_t now = 0)
+    {
+        auto it = index.find(line);
+        if (it != index.end()) {
+            it->second->value = value;
+            if (extra_latency > it->second->extraLatency)
+                it->second->extraLatency = extra_latency;
+            return Insert::Coalesced;
+        }
+        if (fifo.size() >= cap)
+            return Insert::Full;
+        fifo.push_back(Entry{line, value, extra_latency, now});
+        index[line] = &fifo.back();
+        return Insert::Queued;
+    }
+
+    /** True if a write for @p line is pending. */
+    bool
+    contains(std::uint64_t line) const
+    {
+        return index.count(line) != 0;
+    }
+
+    /** Pending value for @p line (precondition: contains(line)). */
+    std::uint64_t
+    pendingValue(std::uint64_t line) const
+    {
+        return index.at(line)->value;
+    }
+
+    /** Oldest entry still pending (precondition: !empty()). */
+    struct FrontEntry
+    {
+        std::uint64_t line;
+        std::uint64_t value;
+        std::uint64_t extraLatency;
+        std::uint64_t insertTick;
+    };
+
+    FrontEntry
+    front() const
+    {
+        const Entry &e = fifo.front();
+        return {e.line, e.value, e.extraLatency, e.insertTick};
+    }
+
+    /** Retire the oldest entry (it has been issued to the media). */
+    void
+    pop()
+    {
+        index.erase(fifo.front().line);
+        fifo.pop_front();
+        // Deque reallocation on pop_front never moves surviving
+        // elements for std::deque, but rebuild the index defensively
+        // when it drains to keep pointer hygiene obvious.
+        if (fifo.empty())
+            index.clear();
+    }
+
+    bool empty() const { return fifo.empty(); }
+    bool full() const { return fifo.size() >= cap; }
+    std::size_t size() const { return fifo.size(); }
+    unsigned capacity() const { return cap; }
+
+    /** Snapshot of all pending writes (used by crash handling). */
+    std::deque<std::pair<std::uint64_t, std::uint64_t>>
+    drainAll()
+    {
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> out;
+        for (const Entry &e : fifo)
+            out.emplace_back(e.line, e.value);
+        fifo.clear();
+        index.clear();
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t line;
+        std::uint64_t value;
+        std::uint64_t extraLatency = 0;
+        std::uint64_t insertTick = 0;
+    };
+
+    unsigned cap;
+    std::deque<Entry> fifo;
+    std::unordered_map<std::uint64_t, Entry *> index;
+};
+
+} // namespace asap
+
+#endif // ASAP_MEM_WPQ_HH

@@ -1,0 +1,64 @@
+#include "models/baseline_model.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace asap
+{
+
+void
+BaselineModel::flushAndFence(Callback done)
+{
+    if (writeSet.empty()) {
+        // sfence with nothing outstanding retires immediately.
+        done();
+        return;
+    }
+    // clwb instructions occupy line-fill buffers: at most
+    // clwbMaxInflight flushes overlap; the sfence stalls the core
+    // until the last ACK returns.
+    auto st = std::make_shared<FenceState>();
+    st->lines.assign(writeSet.begin(), writeSet.end());
+    st->remaining = st->lines.size();
+    st->ts = epoch++;
+    st->start = ctx.eq.now();
+    st->done = std::move(done);
+    writeSet.clear();
+
+    const std::size_t burst = std::min<std::size_t>(
+        ctx.cfg.clwbMaxInflight, st->lines.size());
+    for (std::size_t i = 0; i < burst; ++i)
+        issueNextClwb(st);
+}
+
+void
+BaselineModel::issueNextClwb(const std::shared_ptr<FenceState> &st)
+{
+    if (crashed || st->nextIssue >= st->lines.size())
+        return;
+    const auto [line, value] = st->lines[st->nextIssue++];
+    FlushPacket pkt{line, value, thread, st->ts, /*early=*/false};
+    const unsigned mc = ctx.amap.mcFor(line);
+    ctx.stats.inc("baseline.clwbs");
+    ctx.eq.scheduleAfter(ctx.cfg.pbFlushLatency, [this, pkt, mc,
+                                                  st]() {
+        if (crashed)
+            return;
+        ctx.mcs[mc]->receiveFlush(pkt, [this, st](FlushReply) {
+            if (crashed)
+                return;
+            if (--st->remaining == 0) {
+                ctx.stats.inc("core.sfenceStalled",
+                              ctx.eq.now() - st->start);
+                st->done();
+                return;
+            }
+            issueNextClwb(st);
+        });
+    });
+}
+
+} // namespace asap

@@ -1,0 +1,184 @@
+#include "models/hops_model.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+HopsModel::HopsModel(std::uint16_t thread, ModelContext &ctx)
+    : PersistModel(thread, ctx),
+      et(thread, ctx.cfg.etEntries, ctx.stats),
+      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs)
+{
+    et.setCommittableHook([this](std::uint64_t ts) {
+        // No controller-side protocol: safe + complete commits
+        // immediately; the commit is published by updating the global
+        // timestamp register that dependents poll.
+        this->ctx.stats.inc("hops.tsUpdates");
+        std::vector<std::uint16_t> deps = et.markCommitted(ts);
+        // Dependents discover the commit by polling; nothing to send.
+        (void)deps;
+        pb.kick();
+    });
+    pb.configure(
+        [this](std::uint64_t epoch) {
+            // Conservative flushing: only the safe (oldest) epoch.
+            return et.isSafe(epoch) ? FlushMode::Safe : FlushMode::Hold;
+        },
+        [this](std::uint64_t epoch, std::uint64_t, bool) {
+            et.ackWrite(epoch);
+        },
+        [](std::uint64_t, std::uint64_t) {
+            panic("HOPS received a NACK: safe flushes are never NACKed");
+        });
+}
+
+bool
+HopsModel::epochCommitted(std::uint64_t ts) const
+{
+    return ts <= et.lastCommitted();
+}
+
+void
+HopsModel::pmStore(std::uint64_t line, std::uint64_t value, Callback done)
+{
+    const std::uint64_t ts = et.currentEpoch();
+    et.addWrite(ts);
+    pb.enqueue(line, value, ts, std::move(done));
+}
+
+void
+HopsModel::ofence(Callback done)
+{
+    et.closeEpoch(false, [this, done = std::move(done)]() {
+        pb.kick();
+        done();
+    });
+}
+
+void
+HopsModel::dfence(Callback done)
+{
+    const Tick start = ctx.eq.now();
+    et.closeEpoch(false, [this, start, done = std::move(done)]() {
+        pb.kick();
+        et.waitAllCommitted([this, start, done]() {
+            ctx.stats.inc("core.dfenceStalled", ctx.eq.now() - start);
+            done();
+        });
+    });
+}
+
+void
+HopsModel::release(Callback done)
+{
+    ofence(std::move(done));
+}
+
+void
+HopsModel::acquire(std::uint16_t src_thread, std::uint64_t src_epoch,
+                   Callback done)
+{
+    if (src_epoch == 0 || src_thread == thread) {
+        done();
+        return;
+    }
+    et.closeEpoch(false, [this, src_thread, src_epoch,
+                          done = std::move(done)]() {
+        et.openDependentEpoch(src_thread, src_epoch);
+        schedulePoll(src_thread, src_epoch);
+        pb.kick();
+        done();
+    });
+}
+
+std::uint64_t
+HopsModel::conflictSource(std::uint16_t requester)
+{
+    (void)requester;
+    const std::uint64_t cur = et.currentEpoch();
+    et.closeEpoch(true, []() {});
+    pb.kick();
+    return cur;
+}
+
+void
+HopsModel::conflictDependent(std::uint16_t src_thread,
+                             std::uint64_t src_epoch)
+{
+    et.closeEpoch(true, [this, src_thread, src_epoch]() {
+        et.openDependentEpoch(src_thread, src_epoch);
+        schedulePoll(src_thread, src_epoch);
+        pb.kick();
+    });
+}
+
+void
+HopsModel::schedulePoll(std::uint16_t src_thread, std::uint64_t src_epoch)
+{
+    // Poll the global timestamp register every hopsPollPeriod cycles;
+    // each access takes hopsPollCost cycles (Section VII's corrected
+    // polling implementation).
+    auto *peer = static_cast<HopsModel *>(ctx.peers[src_thread]);
+    if (peer->epochCommitted(src_epoch)) {
+        // Committed before we even started waiting: resolve after a
+        // single register read.
+        ctx.stats.inc("hops.polls");
+        ctx.eq.scheduleAfter(ctx.cfg.hopsPollCost,
+                             [this, src_thread, src_epoch]() {
+            if (crashed)
+                return;
+            dependencyResolved(src_thread, src_epoch);
+        });
+        return;
+    }
+    ctx.eq.scheduleAfter(ctx.cfg.hopsPollPeriod,
+                         [this, src_thread, src_epoch]() {
+        if (crashed)
+            return;
+        ctx.stats.inc("hops.polls");
+        auto *p = static_cast<HopsModel *>(ctx.peers[src_thread]);
+        if (p->epochCommitted(src_epoch)) {
+            ctx.eq.scheduleAfter(ctx.cfg.hopsPollCost,
+                                 [this, src_thread, src_epoch]() {
+                if (crashed)
+                    return;
+                dependencyResolved(src_thread, src_epoch);
+            });
+        } else {
+            schedulePoll(src_thread, src_epoch);
+        }
+    });
+}
+
+bool
+HopsModel::registerDependent(std::uint16_t, std::uint64_t epoch)
+{
+    // HOPS dependents poll; report only whether it already committed.
+    return epochCommitted(epoch);
+}
+
+void
+HopsModel::dependencyResolved(std::uint16_t src_thread,
+                              std::uint64_t src_epoch)
+{
+    et.resolveDependency(src_thread, src_epoch);
+    pb.kick();
+}
+
+std::uint64_t
+HopsModel::currentEpoch() const
+{
+    return et.currentEpoch();
+}
+
+void
+HopsModel::crash()
+{
+    crashed = true;
+    pb.crash();
+}
+
+} // namespace asap

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * HOPS model (Nalli et al., ASPLOS'17), the paper's main comparison.
+ *
+ * Buffered persistency with per-core persist buffers and epoch tables
+ * like ASAP, but with *conservative flushing*: only writes of the
+ * oldest, safe epoch may flush; later epochs wait for every ACK of the
+ * current epoch from all memory controllers (Figure 1a/1b). Cross-
+ * thread dependencies resolve by polling a global timestamp register;
+ * following Section VII we poll every 500 cycles with a 50-cycle
+ * access cost instead of the original unrealistic 1-cycle poll.
+ */
+
+#ifndef ASAP_MODELS_HOPS_MODEL_HH
+#define ASAP_MODELS_HOPS_MODEL_HH
+
+#include <cstdint>
+
+#include "persist/epoch_table.hh"
+#include "persist/model.hh"
+#include "persist/persist_buffer.hh"
+
+namespace asap
+{
+
+/** HOPS per-core persistence hardware. */
+class HopsModel : public PersistModel
+{
+  public:
+    HopsModel(std::uint16_t thread, ModelContext &ctx);
+
+    void pmStore(std::uint64_t line, std::uint64_t value,
+                 Callback done) override;
+    void ofence(Callback done) override;
+    void dfence(Callback done) override;
+    void release(Callback done) override;
+    void acquire(std::uint16_t src_thread, std::uint64_t src_epoch,
+                 Callback done) override;
+    std::uint64_t conflictSource(std::uint16_t requester) override;
+    void conflictDependent(std::uint16_t src_thread,
+                           std::uint64_t src_epoch) override;
+    bool registerDependent(std::uint16_t dep_thread,
+                           std::uint64_t epoch) override;
+    void dependencyResolved(std::uint16_t src_thread,
+                            std::uint64_t src_epoch) override;
+    std::uint64_t currentEpoch() const override;
+    std::uint64_t lastCommittedEpoch() const override
+    {
+        return et.lastCommitted();
+    }
+    void crash() override;
+
+    /** Has this core's epoch @p ts committed (global TS lookup)? */
+    bool epochCommitted(std::uint64_t ts) const;
+
+    /** Test support. */
+    EpochTable &epochTable() { return et; }
+    PersistBuffer &persistBuffer() { return pb; }
+
+  private:
+    /** Poll the source thread's commit state via the global register. */
+    void schedulePoll(std::uint16_t src_thread, std::uint64_t src_epoch);
+
+    EpochTable et;
+    PersistBuffer pb;
+    bool crashed = false;
+};
+
+} // namespace asap
+
+#endif // ASAP_MODELS_HOPS_MODEL_HH

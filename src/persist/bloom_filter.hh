@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Counting Bloom filter.
+ *
+ * ASAP places one at each memory controller to remember the addresses
+ * of NACKed early flushes (Section V-F "Handling early LLC cache-line
+ * evictions"): an LLC eviction that hits in the filter is delayed
+ * because the line's latest value still sits in a persist buffer. The
+ * counting variant supports removal when the flush is retried.
+ */
+
+#ifndef ASAP_PERSIST_BLOOM_FILTER_HH
+#define ASAP_PERSIST_BLOOM_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+/** Counting Bloom filter over line addresses. */
+class CountingBloom
+{
+  public:
+    /**
+     * @param counters number of 8-bit counters (rounded up to a power
+     *                 of two)
+     * @param hashes number of hash functions
+     */
+    explicit CountingBloom(unsigned counters = 1024, unsigned hashes = 3)
+        : numHashes(hashes)
+    {
+        unsigned size = 1;
+        while (size < counters)
+            size <<= 1;
+        table.assign(size, 0);
+        mask = size - 1;
+    }
+
+    /** Record an address. */
+    void
+    insert(std::uint64_t line)
+    {
+        for (unsigned i = 0; i < numHashes; ++i) {
+            std::uint8_t &c = table[slot(line, i)];
+            if (c != 0xff) // saturating: never wrap
+                ++c;
+        }
+        ++population_;
+    }
+
+    /**
+     * Remove a previously inserted address.
+     * @pre the address was inserted and not yet removed
+     */
+    void
+    remove(std::uint64_t line)
+    {
+        panic_if(population_ == 0, "removing from an empty Bloom filter");
+        for (unsigned i = 0; i < numHashes; ++i) {
+            std::uint8_t &c = table[slot(line, i)];
+            if (c != 0 && c != 0xff)
+                --c;
+        }
+        --population_;
+    }
+
+    /** Membership test: false negatives never occur. */
+    bool
+    test(std::uint64_t line) const
+    {
+        for (unsigned i = 0; i < numHashes; ++i) {
+            if (table[slot(line, i)] == 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** Number of inserted-but-not-removed addresses. */
+    std::size_t population() const { return population_; }
+
+  private:
+    std::size_t
+    slot(std::uint64_t line, unsigned i) const
+    {
+        // Double hashing from one 64-bit mix.
+        std::uint64_t h = line * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 29;
+        h *= 0xbf58476d1ce4e5b9ULL;
+        h ^= h >> 32;
+        std::uint64_t h1 = h & 0xffffffffu;
+        std::uint64_t h2 = (h >> 32) | 1;
+        return static_cast<std::size_t>((h1 + i * h2) & mask);
+    }
+
+    unsigned numHashes;
+    std::uint64_t mask = 0;
+    std::vector<std::uint8_t> table;
+    std::size_t population_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_PERSIST_BLOOM_FILTER_HH

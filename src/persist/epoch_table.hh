@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Epoch Table (ET).
+ *
+ * A per-core CAM tracking in-flight epochs (Section V-A): outstanding
+ * write counts, cross-thread dependency state, which controllers saw
+ * early flushes, and the dependents to notify with CDR messages.
+ * Epochs commit strictly in per-thread order; the table calls a
+ * model-provided hook when the oldest epoch becomes committable and
+ * the model completes the commit (ASAP first exchanges commit/ACK
+ * messages with the memory controllers, HOPS publishes to the global
+ * timestamp register).
+ */
+
+#ifndef ASAP_PERSIST_EPOCH_TABLE_HH
+#define ASAP_PERSIST_EPOCH_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace asap
+{
+
+/** Per-core table of in-flight epochs. */
+class EpochTable
+{
+  public:
+    using Callback = std::function<void()>;
+    /** Invoked when epoch @p ts is safe and complete (may commit). */
+    using CommittableHook = std::function<void(std::uint64_t ts)>;
+
+    /** State of one in-flight epoch. */
+    struct Entry
+    {
+        std::uint64_t ts = 0;       //!< epoch timestamp (per-thread)
+        std::uint64_t pending = 0;  //!< writes not yet ACKed by an MC
+        bool closed = false;        //!< a barrier ended this epoch
+        bool hasDep = false;        //!< has an incoming cross-thread dep
+        std::uint16_t depSrc = 0;   //!< source thread of the dep
+        std::uint64_t depSrcEpoch = 0; //!< source epoch of the dep
+        bool depResolved = true;    //!< CDR received (or no dep)
+        bool commitInProgress = false;
+        std::uint32_t earlyMcMask = 0; //!< MCs that saw early flushes
+        /** Threads whose epochs depend on this one (CDR targets). */
+        std::vector<std::uint16_t> dependents;
+    };
+
+    /**
+     * @param thread owning core (stat labels)
+     * @param capacity number of table entries (Table II: 32)
+     * @param stats shared stats registry
+     */
+    EpochTable(std::uint16_t thread, unsigned capacity, StatSet &stats);
+
+    /** Hook the model uses to run its commit protocol. */
+    void setCommittableHook(CommittableHook hook);
+
+    /** Timestamp of the open (active) epoch. */
+    std::uint64_t currentEpoch() const { return entries.back().ts; }
+
+    /** Timestamp of the newest epoch that has committed (0 = none). */
+    std::uint64_t lastCommitted() const { return lastCommitted_; }
+
+    /**
+     * Close the active epoch and open a new one (ofence, release, or
+     * a conflict-triggered split). If the table is at capacity the
+     * closure is deferred and @p done fires once space frees up;
+     * conflict-triggered splits may overflow the capacity instead of
+     * stalling (to keep coherence responses non-blocking).
+     *
+     * @param allow_overflow conflict splits pass true
+     * @param done fires when the new epoch is open
+     */
+    void closeEpoch(bool allow_overflow, Callback done);
+
+    /**
+     * Open a new active epoch carrying a cross-thread dependency on
+     * (@p src_thread, @p src_epoch). Overflow is always allowed here
+     * (the acquire already closed the previous epoch).
+     */
+    void openDependentEpoch(std::uint16_t src_thread,
+                            std::uint64_t src_epoch);
+
+    /** A write joined epoch @p ts (persist-buffer enqueue). */
+    void addWrite(std::uint64_t ts);
+
+    /** A write of epoch @p ts was ACKed by a memory controller. */
+    void ackWrite(std::uint64_t ts);
+
+    /** An early flush of epoch @p ts went to controller @p mc. */
+    void markEarlyMc(std::uint64_t ts, unsigned mc);
+
+    /** CDR (or poll success) for dependency on (src, src_epoch). */
+    void resolveDependency(std::uint16_t src_thread,
+                           std::uint64_t src_epoch);
+
+    /**
+     * Epoch @p ts is safe: it is the oldest in-flight epoch and its
+     * dependency (if any) is resolved. Only safe-epoch flushes may be
+     * sent as non-early.
+     */
+    bool isSafe(std::uint64_t ts) const;
+
+    /**
+     * The model finished the commit protocol for epoch @p ts (which
+     * must be the oldest entry). Removes the entry, wakes ofence and
+     * dfence waiters and returns the dependent threads to CDR.
+     */
+    std::vector<std::uint16_t> markCommitted(std::uint64_t ts);
+
+    /**
+     * Register @p dep_thread as dependent on epoch @p ts.
+     * @return true if @p ts has already committed (dependent should
+     *         resolve immediately)
+     */
+    bool registerDependent(std::uint16_t dep_thread, std::uint64_t ts);
+
+    /**
+     * dfence: fires @p done once every epoch older than the active one
+     * has committed. The caller must closeEpoch() first.
+     */
+    void waitAllCommitted(Callback done);
+
+    /** Entries currently in flight (committed ones are removed). */
+    std::size_t size() const { return entries.size(); }
+
+    /** Access an in-flight entry (nullptr if absent/committed). */
+    const Entry *find(std::uint64_t ts) const;
+
+  private:
+    Entry *findMut(std::uint64_t ts);
+
+    /** Re-check whether the oldest epoch became committable. */
+    void evaluate();
+
+    std::uint16_t thread;
+    unsigned capacity;
+    StatSet &stats;
+    CommittableHook committableHook;
+
+    std::deque<Entry> entries; //!< ordered by ts; front commits first
+    std::uint64_t nextTs = 2;  //!< entries.back() starts at ts 1
+    std::uint64_t lastCommitted_ = 0;
+    std::deque<Callback> openWaiters;   //!< stalled ofences (table full)
+    std::vector<Callback> dfenceWaiters;
+};
+
+} // namespace asap
+
+#endif // ASAP_PERSIST_EPOCH_TABLE_HH

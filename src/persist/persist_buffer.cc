@@ -1,0 +1,199 @@
+#include "persist/persist_buffer.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+PersistBuffer::PersistBuffer(std::uint16_t thread, const SimConfig &cfg,
+                             EventQueue &eq, StatSet &stats,
+                             AddressMap &amap,
+                             std::vector<MemoryController *> &mcs)
+    : thread(thread), cfg(cfg), eq(eq), stats(stats), amap(amap),
+      mcs(mcs), statPrefix("pb" + std::to_string(thread) + ".")
+{
+}
+
+void
+PersistBuffer::configure(ClassifyFn classify_fn, AckFn on_ack,
+                         NackFn on_nack)
+{
+    classify = std::move(classify_fn);
+    onAck = std::move(on_ack);
+    onNack = std::move(on_nack);
+}
+
+void
+PersistBuffer::accountOccupancy()
+{
+    const Tick now = eq.now();
+    if (now > lastOccChange) {
+        stats.dist("pb.occupancy", cfg.pbEntries)
+            .sample(occupancy(), now - lastOccChange);
+    }
+    lastOccChange = now;
+}
+
+void
+PersistBuffer::accountBlocked()
+{
+    const Tick now = eq.now();
+    if (wasBlocked && now > lastBlockedCheck) {
+        stats.inc("pb.cyclesBlocked", now - lastBlockedCheck);
+        stats.inc(statPrefix + "cyclesBlocked", now - lastBlockedCheck);
+    }
+    lastBlockedCheck = now;
+    bool any_flushable = false;
+    for (const PbEntry &e : queued) {
+        FlushMode m = classify(e.epoch);
+        if (m == FlushMode::Safe || (m == FlushMode::Early && !e.nacked)) {
+            any_flushable = true;
+            break;
+        }
+    }
+    wasBlocked = !queued.empty() && !any_flushable;
+}
+
+void
+PersistBuffer::enqueue(std::uint64_t line, std::uint64_t value,
+                       std::uint64_t epoch, Callback accepted)
+{
+    if (crashed)
+        return;
+    // Coalesce with a queued (not yet dispatched) write of the same
+    // line in the same epoch. The surviving entry produces a single
+    // MC acknowledgement, so the swallowed store is acknowledged to
+    // the epoch table immediately.
+    for (auto it = queued.rbegin(); it != queued.rend(); ++it) {
+        if (it->line == line && it->epoch == epoch) {
+            it->value = value;
+            stats.inc("pb.coalesced");
+            accepted();
+            onAck(epoch, line, /*early=*/false);
+            return;
+        }
+    }
+    if (occupancy() >= cfg.pbEntries) {
+        stats.inc("pb.fullEvents");
+        stalledStores.push_back(
+            StalledStore{PbEntry{line, value, epoch, false},
+                         std::move(accepted), eq.now()});
+        return;
+    }
+    accountOccupancy();
+    queued.push_back(PbEntry{line, value, epoch, false});
+    ++totalEnqueued;
+    stats.inc("pb.entriesInserted");
+    accepted();
+    tryFlush();
+}
+
+void
+PersistBuffer::tryFlush()
+{
+    if (crashed)
+        return;
+    accountBlocked();
+    while (numInflight < cfg.pbMaxInflight) {
+        // Oldest flushable entry first; same-line flushes stay in
+        // order (a line with an earlier queued or in-flight entry is
+        // held back) so the recovery table sees same-line values in
+        // write order.
+        std::size_t idx = queued.size();
+        std::unordered_set<std::uint64_t> earlier_lines;
+        for (std::size_t i = 0; i < queued.size(); ++i) {
+            const PbEntry &e = queued[i];
+            const bool line_blocked =
+                earlier_lines.count(e.line) != 0 ||
+                inflightLines.count(e.line) != 0;
+            earlier_lines.insert(e.line);
+            if (line_blocked)
+                continue;
+            FlushMode m = classify(e.epoch);
+            if (m == FlushMode::Safe ||
+                (m == FlushMode::Early && !e.nacked)) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == queued.size())
+            break;
+        dispatch(idx);
+    }
+    accountBlocked();
+}
+
+void
+PersistBuffer::dispatch(std::size_t idx)
+{
+    PbEntry entry = queued[idx];
+    const FlushMode mode = classify(entry.epoch);
+    const bool early = (mode == FlushMode::Early);
+    queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(idx));
+    ++numInflight;
+    inflightLines.insert(entry.line);
+    accountOccupancy();
+
+    FlushPacket pkt{entry.line, entry.value, thread, entry.epoch, early};
+    const unsigned mc = amap.mcFor(entry.line);
+    if (early) {
+        stats.inc("pb.totSpecWrites");
+    }
+
+    // Forward link latency, then controller processing, then the
+    // reply (the controller schedules the reply-side latency).
+    eq.scheduleAfter(cfg.pbFlushLatency, [this, pkt, mc, entry]() {
+        if (crashed)
+            return;
+        mcs[mc]->receiveFlush(pkt, [this, pkt, mc, entry]
+                              (FlushReply reply) {
+            if (crashed)
+                return;
+            --numInflight;
+            auto lit = inflightLines.find(pkt.line);
+            if (lit != inflightLines.end())
+                inflightLines.erase(lit);
+            accountOccupancy();
+            if (reply == FlushReply::Ack) {
+                ++totalAcked;
+                onAck(pkt.epoch, pkt.line, pkt.early);
+            } else {
+                // NACK: requeue; the entry must wait until its epoch
+                // is safe and then retry as a safe flush.
+                stats.inc("pb.nacksReceived");
+                PbEntry back = entry;
+                back.nacked = true;
+                queued.push_front(back);
+                accountOccupancy();
+                onNack(pkt.epoch, pkt.line);
+            }
+            // Freed a slot: admit a stalled store.
+            while (!stalledStores.empty() &&
+                   occupancy() < cfg.pbEntries) {
+                StalledStore s = std::move(stalledStores.front());
+                stalledStores.pop_front();
+                stats.inc("pb.cyclesStalled", eq.now() - s.since);
+                accountOccupancy();
+                queued.push_back(s.entry);
+                ++totalEnqueued;
+                stats.inc("pb.entriesInserted");
+                s.accepted();
+            }
+            tryFlush();
+        });
+    });
+}
+
+void
+PersistBuffer::crash()
+{
+    crashed = true;
+    queued.clear();
+    stalledStores.clear();
+    inflightLines.clear();
+    numInflight = 0;
+}
+
+} // namespace asap

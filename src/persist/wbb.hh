@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Write-Back Buffer (WBB).
+ *
+ * Section V-F "Handling private cache evictions": when a cache line is
+ * evicted while older writes to it still sit in the persist buffer,
+ * the eviction is parked in the WBB, tagged with the persist buffer's
+ * tail index at eviction time; the line is released once the persist
+ * buffer has flushed past that index (StrandWeaver's mechanism, which
+ * ASAP reuses).
+ */
+
+#ifndef ASAP_PERSIST_WBB_HH
+#define ASAP_PERSIST_WBB_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace asap
+{
+
+/** Holds evicted lines until the persist buffer catches up. */
+class WriteBackBuffer
+{
+  public:
+    explicit WriteBackBuffer(unsigned capacity = 8) : cap(capacity) {}
+
+    /**
+     * Park an evicted line.
+     *
+     * @param line the evicted line address
+     * @param pb_tail_index persist-buffer cumulative enqueue index at
+     *        the time of eviction
+     * @return false if the WBB is full (the eviction must stall)
+     */
+    bool
+    park(std::uint64_t line, std::uint64_t pb_tail_index)
+    {
+        if (entries.size() >= cap)
+            return false;
+        entries.push_back(Entry{line, pb_tail_index});
+        return true;
+    }
+
+    /**
+     * The persist buffer has flushed everything up to cumulative index
+     * @p flushed_index; release entries that were waiting for it.
+     *
+     * @return number of released lines
+     */
+    unsigned
+    releaseUpTo(std::uint64_t flushed_index)
+    {
+        unsigned released = 0;
+        while (!entries.empty() && entries.front().tail <= flushed_index) {
+            entries.pop_front();
+            ++released;
+        }
+        return released;
+    }
+
+    /** True if @p line is currently parked. */
+    bool
+    holds(std::uint64_t line) const
+    {
+        for (const Entry &e : entries) {
+            if (e.line == line)
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t size() const { return entries.size(); }
+    bool full() const { return entries.size() >= cap; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t line;
+        std::uint64_t tail;
+    };
+
+    unsigned cap;
+    std::deque<Entry> entries;
+};
+
+} // namespace asap
+
+#endif // ASAP_PERSIST_WBB_HH

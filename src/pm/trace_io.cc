@@ -1,0 +1,126 @@
+#include "pm/trace_io.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+constexpr std::uint32_t traceMagic = 0x41534150; // "ASAP"
+constexpr std::uint32_t traceVersion = 1;
+
+/** Fixed-width on-disk op record. */
+struct DiskOp
+{
+    std::uint8_t type;
+    std::uint8_t isPm;
+    std::uint16_t pad = 0;
+    std::uint32_t cycles;
+    std::uint64_t addr;
+    std::uint64_t value;
+    std::int32_t srcThread;
+    std::uint32_t pad2 = 0;
+    std::uint64_t srcRelease;
+};
+static_assert(sizeof(DiskOp) == 40, "on-disk layout is fixed");
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+writeAll(std::FILE *f, const void *data, std::size_t n,
+         const std::string &path)
+{
+    fatal_if(std::fwrite(data, 1, n, f) != n, "short write to '",
+             path, "'");
+}
+
+void
+readAll(std::FILE *f, void *data, std::size_t n,
+        const std::string &path)
+{
+    fatal_if(std::fread(data, 1, n, f) != n, "short read from '",
+             path, "'");
+}
+
+} // namespace
+
+void
+saveTrace(const TraceSet &traces, const std::string &path)
+{
+    File f(std::fopen(path.c_str(), "wb"));
+    fatal_if(!f, "cannot open '", path, "' for writing");
+
+    const std::uint32_t header[3] = {
+        traceMagic, traceVersion,
+        static_cast<std::uint32_t>(traces.threads.size())};
+    writeAll(f.get(), header, sizeof(header), path);
+
+    for (const auto &ops : traces.threads) {
+        const std::uint64_t count = ops.size();
+        writeAll(f.get(), &count, sizeof(count), path);
+        for (const TraceOp &op : ops) {
+            DiskOp d{};
+            d.type = static_cast<std::uint8_t>(op.type);
+            d.isPm = op.isPm ? 1 : 0;
+            d.cycles = op.cycles;
+            d.addr = op.addr;
+            d.value = op.value;
+            d.srcThread = op.srcThread;
+            d.srcRelease = op.srcRelease;
+            writeAll(f.get(), &d, sizeof(d), path);
+        }
+    }
+}
+
+TraceSet
+loadTrace(const std::string &path)
+{
+    File f(std::fopen(path.c_str(), "rb"));
+    fatal_if(!f, "cannot open '", path, "' for reading");
+
+    std::uint32_t header[3];
+    readAll(f.get(), header, sizeof(header), path);
+    fatal_if(header[0] != traceMagic, "'", path,
+             "' is not an ASAP trace file");
+    fatal_if(header[1] != traceVersion, "'", path,
+             "' has unsupported trace version ", header[1]);
+
+    TraceSet traces(header[2]);
+    for (auto &ops : traces.threads) {
+        std::uint64_t count = 0;
+        readAll(f.get(), &count, sizeof(count), path);
+        ops.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            DiskOp d;
+            readAll(f.get(), &d, sizeof(d), path);
+            TraceOp op;
+            op.type = static_cast<OpType>(d.type);
+            op.isPm = d.isPm != 0;
+            op.cycles = d.cycles;
+            op.addr = d.addr;
+            op.value = d.value;
+            op.srcThread = d.srcThread;
+            op.srcRelease = d.srcRelease;
+            ops.push_back(op);
+        }
+    }
+    return traces;
+}
+
+} // namespace asap

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * Recording a workload is deterministic but not free; serializing a
+ * TraceSet lets users record once and replay under every hardware
+ * model and configuration (the record/replay workflow of the paper's
+ * artifact, where disk images hold the workloads).
+ *
+ * Format: a small header (magic, version, thread count) followed by
+ * per-thread op arrays in a fixed-width little-endian layout.
+ */
+
+#ifndef ASAP_PM_TRACE_IO_HH
+#define ASAP_PM_TRACE_IO_HH
+
+#include <string>
+
+#include "cpu/op.hh"
+
+namespace asap
+{
+
+/** Write @p traces to @p path (fatal on I/O errors). */
+void saveTrace(const TraceSet &traces, const std::string &path);
+
+/** Read a trace set back (fatal on I/O or format errors). */
+TraceSet loadTrace(const std::string &path);
+
+} // namespace asap
+
+#endif // ASAP_PM_TRACE_IO_HH

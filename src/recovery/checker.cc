@@ -1,0 +1,209 @@
+#include "recovery/checker.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace asap
+{
+
+namespace
+{
+
+/** Ordered epoch key. */
+using Key = std::pair<std::uint16_t, std::uint64_t>;
+
+struct EpochNode
+{
+    /** Per-line index (into that line's write list) of this epoch's
+     *  last write to the line. */
+    std::unordered_map<std::uint64_t, std::size_t> lastWrite;
+    /** Direct cross-thread parents. */
+    std::vector<Key> depParents;
+};
+
+} // namespace
+
+CheckResult
+checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
+                      const std::vector<std::uint64_t> &committed_up_to)
+{
+    CheckResult res;
+    auto fail = [&res](const std::string &msg) {
+        res.ok = false;
+        res.message = msg;
+        return res;
+    };
+
+    // --- index the log ---------------------------------------------------
+    // Per line, writes in retirement order (token -> index).
+    std::unordered_map<std::uint64_t, std::vector<RunLog::StoreRecord>>
+        lineWrites;
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
+        tokenIndex; // token -> (line, index)
+    for (const RunLog::StoreRecord &s : log.allStores())
+        lineWrites[s.line].push_back(s);
+    for (auto &[line, ws] : lineWrites) {
+        std::sort(ws.begin(), ws.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.seq < b.seq;
+                  });
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            if (tokenIndex.count(ws[i].value)) {
+                std::ostringstream os;
+                os << "duplicate store token " << ws[i].value;
+                return fail(os.str());
+            }
+            tokenIndex[ws[i].value] = {line, i};
+        }
+    }
+
+    // Epoch nodes: every epoch that wrote or appears in an edge.
+    std::map<Key, EpochNode> nodes;
+    for (auto &[line, ws] : lineWrites) {
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            EpochNode &n = nodes[{ws[i].thread, ws[i].epoch}];
+            n.lastWrite[line] = i; // ascending i: last one sticks
+        }
+    }
+    for (const RunLog::DepEdge &e : log.allEdges()) {
+        nodes[{e.thread, e.epoch}].depParents.push_back(
+            {e.srcThread, e.srcEpoch});
+        nodes.try_emplace({e.srcThread, e.srcEpoch});
+    }
+
+    // Per-thread sorted epoch lists for same-thread predecessor walks.
+    std::unordered_map<std::uint16_t, std::vector<std::uint64_t>> byThread;
+    for (const auto &[key, node] : nodes)
+        byThread[key.first].push_back(key.second);
+    for (auto &[t, v] : byThread)
+        std::sort(v.begin(), v.end());
+
+    // --- surviving index per line ----------------------------------------
+    // -1 means "no recorded write survived" (initial contents).
+    std::unordered_map<std::uint64_t, std::ptrdiff_t> survived;
+    for (const auto &[line, ws] : lineWrites) {
+        const std::uint64_t v = nvm.read(line);
+        if (v == 0) {
+            survived[line] = -1;
+            continue;
+        }
+        auto it = tokenIndex.find(v);
+        if (it == tokenIndex.end() || it->second.first != line) {
+            std::ostringstream os;
+            os << "line " << line << " holds alien value " << v;
+            return fail(os.str());
+        }
+        survived[line] =
+            static_cast<std::ptrdiff_t>(it->second.second);
+    }
+
+    // --- checks ------------------------------------------------------------
+    // An epoch is "fully visible" if, for every line it wrote, the
+    // surviving write index is >= the epoch's last write index.
+    auto epochVisible = [&](const Key &k, std::string *why) {
+        auto nit = nodes.find(k);
+        if (nit == nodes.end())
+            return true; // wrote nothing
+        for (const auto &[line, idx] : nit->second.lastWrite) {
+            auto sit = survived.find(line);
+            const std::ptrdiff_t got =
+                sit == survived.end() ? -1 : sit->second;
+            if (got < static_cast<std::ptrdiff_t>(idx)) {
+                if (why) {
+                    std::ostringstream os;
+                    os << "epoch (t" << k.first << ",e" << k.second
+                       << ") write idx " << idx << " to line " << line
+                       << " not durable (surviving idx " << got << ")";
+                    *why = os.str();
+                }
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // Walk ancestors of a seed epoch, verifying visibility of every
+    // strict ancestor.
+    std::set<Key> verified;
+    auto verifyAncestors = [&](Key seed, std::string *why) {
+        std::vector<Key> work;
+        auto push_parents = [&](const Key &k) {
+            // Same-thread predecessor (largest logged ts < k.ts).
+            auto bit = byThread.find(k.first);
+            if (bit != byThread.end()) {
+                const auto &v = bit->second;
+                auto it = std::lower_bound(v.begin(), v.end(), k.second);
+                if (it != v.begin())
+                    work.push_back({k.first, *std::prev(it)});
+            }
+            // Cross-thread parents attached exactly to k.
+            auto nit = nodes.find(k);
+            if (nit != nodes.end()) {
+                for (const Key &p : nit->second.depParents)
+                    work.push_back(p);
+            }
+        };
+        push_parents(seed);
+        while (!work.empty()) {
+            Key k = work.back();
+            work.pop_back();
+            if (verified.count(k))
+                continue;
+            verified.insert(k);
+            if (!epochVisible(k, why))
+                return false;
+            push_parents(k);
+        }
+        return true;
+    };
+
+    // Check 1: prefix closure for every surviving value's epoch.
+    for (const auto &[line, idx] : survived) {
+        if (idx < 0)
+            continue;
+        const RunLog::StoreRecord &w =
+            lineWrites.at(line)[static_cast<std::size_t>(idx)];
+        std::string why;
+        if (!verifyAncestors({w.thread, w.epoch}, &why)) {
+            std::ostringstream os;
+            os << "surviving value on line " << line << " (epoch t"
+               << w.thread << ",e" << w.epoch
+               << ") has a non-durable ancestor: " << why;
+            return fail(os.str());
+        }
+    }
+
+    // Check 2: committed epochs are fully durable, including their
+    // ancestors.
+    for (std::uint16_t t = 0;
+         t < static_cast<std::uint16_t>(committed_up_to.size()); ++t) {
+        auto bit = byThread.find(t);
+        if (bit == byThread.end())
+            continue;
+        for (std::uint64_t ts : bit->second) {
+            if (ts > committed_up_to[t])
+                break;
+            std::string why;
+            if (!epochVisible({t, ts}, &why)) {
+                std::ostringstream os;
+                os << "committed epoch (t" << t << ",e" << ts
+                   << ") lost a write: " << why;
+                return fail(os.str());
+            }
+            if (!verifyAncestors({t, ts}, &why)) {
+                std::ostringstream os;
+                os << "committed epoch (t" << t << ",e" << ts
+                   << ") has a non-durable ancestor: " << why;
+                return fail(os.str());
+            }
+        }
+    }
+
+    return res;
+}
+
+} // namespace asap

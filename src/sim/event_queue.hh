@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-ordered queue of (tick, sequence, callback) events.
+ * Ties at the same tick execute in scheduling order, which keeps the
+ * simulation deterministic. Components schedule closures; there is no
+ * threading — the whole multicore system is simulated on one host
+ * thread, as in gem5's event queue.
+ */
+
+#ifndef ASAP_SIM_EVENT_QUEUE_HH
+#define ASAP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/ticks.hh"
+
+namespace asap
+{
+
+/** Ordered queue of simulation events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Number of events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return heap.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        panic_if(when < curTick_, "scheduling event in the past (", when,
+                 " < ", curTick_, ")");
+        heap.push(Event{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(curTick_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     *
+     * @param limit stop before executing events later than this tick
+     * @return true if the queue drained, false if the limit stopped it
+     */
+    bool
+    run(Tick limit = maxTick)
+    {
+        while (!heap.empty()) {
+            const Event &top = heap.top();
+            if (top.when > limit) {
+                curTick_ = limit;
+                return false;
+            }
+            curTick_ = top.when;
+            Callback cb = std::move(const_cast<Event &>(top).cb);
+            heap.pop();
+            ++executed_;
+            cb();
+        }
+        return true;
+    }
+
+    /** Run a single event; returns false when the queue is empty. */
+    bool
+    step()
+    {
+        if (heap.empty())
+            return false;
+        const Event &top = heap.top();
+        curTick_ = top.when;
+        Callback cb = std::move(const_cast<Event &>(top).cb);
+        heap.pop();
+        ++executed_;
+        cb();
+        return true;
+    }
+
+    /** Drop all pending events (used by crash injection). */
+    void
+    clear()
+    {
+        while (!heap.empty())
+            heap.pop();
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,41 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace asap
+{
+
+namespace
+{
+bool quietLogs = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietLogs = quiet;
+}
+
+void
+logMessage(LogLevel level, const char *where, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        if (!quietLogs)
+            std::fprintf(stderr, "info: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        if (!quietLogs)
+            std::fprintf(stderr, "warn: %s (%s)\n", msg.c_str(), where);
+        break;
+      case LogLevel::Fatal:
+        std::fprintf(stderr, "fatal: %s (%s)\n", msg.c_str(), where);
+        std::exit(1);
+      case LogLevel::Panic:
+        std::fprintf(stderr, "panic: %s (%s)\n", msg.c_str(), where);
+        std::abort();
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All randomness in the simulator (workload key streams, crash-time
+ * selection, fuzz tests) flows through this splitmix64/xoshiro-style
+ * generator so that every experiment is reproducible from its seed.
+ */
+
+#ifndef ASAP_SIM_RNG_HH
+#define ASAP_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace asap
+{
+
+/** Small, fast, seedable PRNG (xorshift128+ with splitmix64 seeding). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+    /** Restart the stream from a new seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        s0 = splitmix(seed);
+        s1 = splitmix(seed);
+        if (s0 == 0 && s1 == 0)
+            s1 = 0x9e3779b97f4a7c15ULL;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p percent / 100. */
+    bool
+    percent(unsigned pct)
+    {
+        return below(100) < pct;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    splitmix(std::uint64_t &state)
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_SIM_RNG_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Statistics collection.
+ *
+ * Mirrors the gem5 stats the paper's artifact exports (Table VI):
+ * named counters plus sampled distributions (used for the occupancy
+ * averages and 99th percentiles of Figure 11).
+ */
+
+#ifndef ASAP_SIM_STATS_HH
+#define ASAP_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asap
+{
+
+/**
+ * A sampled distribution supporting mean, max and percentile queries.
+ *
+ * Samples are accumulated into fixed integer buckets, so percentile
+ * queries are exact for the small-valued occupancy series we record
+ * (buffer occupancies are bounded by buffer capacity).
+ */
+class Distribution
+{
+  public:
+    /** @param max_value largest sample value that can be recorded */
+    explicit Distribution(std::uint64_t max_value = 256);
+
+    /** Record one sample; values beyond the bound are clamped. */
+    void sample(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Arithmetic mean of the samples (0 if empty). */
+    double mean() const;
+
+    /** Largest sample seen (0 if empty). */
+    std::uint64_t max() const { return maxSeen; }
+
+    /**
+     * Value at percentile @p pct (e.g.\ 99.0).
+     * @return smallest value v such that pct% of samples are <= v
+     */
+    std::uint64_t percentile(double pct) const;
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+    std::uint64_t weightedSum = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
+ * Flat registry of named statistics for one simulated system.
+ *
+ * Components increment counters by name; the harness walks the
+ * registry to print gem5-style "stats.txt" output and the benches read
+ * specific names (see Table VI in the paper).
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters[name] = value;
+    }
+
+    /** Raise counter @p name to at least @p value. */
+    void
+    maxTo(const std::string &name, std::uint64_t value)
+    {
+        auto &slot = counters[name];
+        if (value > slot)
+            slot = value;
+    }
+
+    /** Read counter @p name (0 if never touched). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Access (creating) the distribution @p name. */
+    Distribution &dist(const std::string &name,
+                       std::uint64_t max_value = 256);
+
+    /** True if a distribution with this name exists. */
+    bool hasDist(const std::string &name) const;
+
+    /** Read-only view of all counters. */
+    const std::map<std::string, std::uint64_t> &
+    allCounters() const
+    {
+        return counters;
+    }
+
+    /** Read-only view of all distributions. */
+    const std::map<std::string, Distribution> &
+    allDists() const
+    {
+        return dists;
+    }
+
+    /** Render all stats as a gem5-style text block. */
+    std::string dump() const;
+
+    /** Clear every counter and distribution. */
+    void reset();
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, Distribution> dists;
+};
+
+} // namespace asap
+
+#endif // ASAP_SIM_STATS_HH

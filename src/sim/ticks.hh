@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * The simulator counts time in core clock cycles of a 2 GHz processor
+ * (Table II of the paper). Helpers convert the nanosecond latencies the
+ * paper quotes (e.g.\ PM read = 175 ns) into cycles.
+ */
+
+#ifndef ASAP_SIM_TICKS_HH
+#define ASAP_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace asap
+{
+
+/** Simulated time, in CPU cycles. */
+using Tick = std::uint64_t;
+
+/** A Tick value that compares greater than every real event time. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Core clock frequency in GHz (Table II: 2 GHz cores). */
+constexpr double clockGHz = 2.0;
+
+/** Convert a latency in nanoseconds to cycles, rounding up. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    double cycles = ns * clockGHz;
+    Tick whole = static_cast<Tick>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+/** Convert cycles back to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / clockGHz;
+}
+
+} // namespace asap
+
+#endif // ASAP_SIM_TICKS_HH

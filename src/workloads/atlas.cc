@@ -1,0 +1,255 @@
+#include "workloads/atlas.hh"
+
+#include <vector>
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+AtlasLog::AtlasLog(TraceRecorder &rec, unsigned num_threads) : rec(rec)
+{
+    for (unsigned t = 0; t < num_threads; ++t) {
+        logBase.push_back(rec.space().alloc(logBytes, lineBytes));
+        logPos.push_back(0);
+    }
+}
+
+void
+AtlasLog::loggedStore(unsigned t, std::uint64_t addr, std::uint64_t value)
+{
+    // Undo entry: (address, old value) appended to the thread log,
+    // persisted and ordered before the data store.
+    const std::uint64_t old = rec.load64(t, addr);
+    const std::uint64_t entry =
+        logBase[t] + (logPos[t] % (logBytes - 16));
+    logPos[t] += 16;
+    rec.store64(t, entry, addr);
+    rec.store64(t, entry + 8, old);
+    rec.ofence(t);
+    rec.store64(t, addr, value);
+}
+
+void
+AtlasLog::commitSection(unsigned t)
+{
+    rec.ofence(t);
+}
+
+// --------------------------------------------------------------------
+// Heap: array-backed binary min-heap under a global lock.
+// --------------------------------------------------------------------
+
+void
+genAtlasHeap(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    AtlasLog log(rec, threads);
+    PmLock lock = rec.makeLock();
+    const unsigned cap = 1u << 16;
+    const std::uint64_t arr = rec.space().alloc(cap * 8ull, lineBytes);
+    const std::uint64_t sizeCell = rec.space().alloc(64, lineBytes);
+    Rng keys(p.seed * 0x4ea9 + 3);
+
+    auto siftUp = [&](unsigned t, std::uint64_t idx) {
+        while (idx > 0) {
+            const std::uint64_t parent = (idx - 1) / 2;
+            const std::uint64_t v = rec.load64(t, arr + idx * 8);
+            const std::uint64_t pv = rec.load64(t, arr + parent * 8);
+            if (pv <= v)
+                break;
+            log.loggedStore(t, arr + parent * 8, v);
+            log.loggedStore(t, arr + idx * 8, pv);
+            idx = parent;
+        }
+    };
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.compute(t, 160);
+            rec.lockAcquire(t, lock);
+            const std::uint64_t n = rec.load64(t, sizeCell);
+            if (n + 1 >= cap || (n > 8 && keys.percent(40))) {
+                // Extract-min: move the last element to the root and
+                // sift down.
+                const std::uint64_t last =
+                    rec.load64(t, arr + (n - 1) * 8);
+                log.loggedStore(t, arr, last);
+                log.loggedStore(t, sizeCell, n - 1);
+                std::uint64_t idx = 0;
+                while (true) {
+                    const std::uint64_t l = 2 * idx + 1;
+                    const std::uint64_t r = 2 * idx + 2;
+                    if (l >= n - 1)
+                        break;
+                    std::uint64_t m = l;
+                    if (r < n - 1 &&
+                        rec.load64(t, arr + r * 8) <
+                            rec.load64(t, arr + l * 8)) {
+                        m = r;
+                    }
+                    const std::uint64_t v = rec.load64(t, arr + idx * 8);
+                    const std::uint64_t mv = rec.load64(t, arr + m * 8);
+                    if (v <= mv)
+                        break;
+                    log.loggedStore(t, arr + idx * 8, mv);
+                    log.loggedStore(t, arr + m * 8, v);
+                    idx = m;
+                }
+            } else {
+                // Insert.
+                log.loggedStore(t, arr + n * 8, keys.next() >> 16);
+                log.loggedStore(t, sizeCell, n + 1);
+                siftUp(t, n);
+            }
+            log.commitSection(t);
+            rec.lockRelease(t, lock);
+            if ((op + 1) % 64 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Queue: singly-linked FIFO, head/tail cells, one lock per end.
+// --------------------------------------------------------------------
+
+void
+genAtlasQueue(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    AtlasLog log(rec, threads);
+    // One lock for both ends: the classic two-lock queue races on the
+    // head node's next pointer when the queue drains, which violates
+    // the race-free requirement of release persistency (Section IV-E).
+    PmLock lock = rec.makeLock();
+    const std::uint64_t headCell = rec.space().alloc(64, lineBytes);
+    const std::uint64_t tailCell = rec.space().alloc(64, lineBytes);
+
+    // Sentinel node.
+    const std::uint64_t sentinel = rec.space().alloc(64, lineBytes);
+    rec.space().write64(headCell, sentinel);
+    rec.space().write64(tailCell, sentinel);
+    Rng keys(p.seed * 0x9e3e + 7);
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.compute(t, 140);
+            if (keys.percent(60)) {
+                // Enqueue: build the node, then link it at the tail.
+                const std::uint64_t node =
+                    rec.space().alloc(64, lineBytes);
+                rec.lockAcquire(t, lock);
+                rec.store64(t, node + 8, keys.next()); // payload
+                rec.store64(t, node, 0);               // next
+                rec.ofence(t);
+                const std::uint64_t tail = rec.load64(t, tailCell);
+                log.loggedStore(t, tail, node);     // tail->next
+                log.loggedStore(t, tailCell, node); // tail cell
+                log.commitSection(t);
+                rec.lockRelease(t, lock);
+            } else {
+                // Dequeue.
+                rec.lockAcquire(t, lock);
+                const std::uint64_t head = rec.load64(t, headCell);
+                const std::uint64_t next = rec.load64(t, head);
+                if (next != 0) {
+                    rec.load64(t, next + 8); // read payload
+                    log.loggedStore(t, headCell, next);
+                    log.commitSection(t);
+                    rec.space().free(head, 64);
+                }
+                rec.lockRelease(t, lock);
+            }
+            if ((op + 1) % 64 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Skip list: multi-level list under a global lock.
+// --------------------------------------------------------------------
+
+void
+genAtlasSkiplist(TraceRecorder &rec, const WorkloadParams &p)
+{
+    constexpr unsigned maxLevel = 8;
+    const unsigned threads = rec.numThreads();
+    AtlasLog log(rec, threads);
+    PmLock lock = rec.makeLock();
+    Rng keys(p.seed * 0x5717 + 11);
+
+    // Node: [0..maxLevel-1] next pointers, then key at 8*maxLevel.
+    const unsigned nodeBytes = 8 * (maxLevel + 1);
+    auto allocNode = [&](unsigned t, std::uint64_t key,
+                         unsigned level) {
+        const std::uint64_t n =
+            rec.space().alloc(nodeBytes, lineBytes);
+        rec.storeBytes(t, n, nullptr, nodeBytes);
+        rec.store64(t, n + 8ull * maxLevel, key);
+        (void)level;
+        return n;
+    };
+    const std::uint64_t head = allocNode(0, 0, maxLevel);
+
+    auto nodeKey = [&](unsigned t, std::uint64_t n) {
+        return rec.load64(t, n + 8ull * maxLevel);
+    };
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 150);
+            rec.lockAcquire(t, lock);
+
+            // Find predecessors at every level.
+            std::uint64_t preds[maxLevel];
+            std::uint64_t cur = head;
+            for (int lvl = maxLevel - 1; lvl >= 0; --lvl) {
+                while (true) {
+                    const std::uint64_t next =
+                        rec.load64(t, cur + 8ull * lvl);
+                    if (next == 0 || nodeKey(t, next) >= key)
+                        break;
+                    cur = next;
+                }
+                preds[lvl] = cur;
+            }
+            const std::uint64_t at0 = rec.load64(t, preds[0]);
+            const bool exists = at0 != 0 && nodeKey(t, at0) == key;
+
+            if (!exists && keys.percent(70)) {
+                // Insert with a geometric level.
+                unsigned level = 1;
+                while (level < maxLevel && keys.percent(50))
+                    ++level;
+                const std::uint64_t node = allocNode(t, key, level);
+                for (unsigned lvl = 0; lvl < level; ++lvl) {
+                    rec.store64(t, node + 8ull * lvl,
+                                rec.load64(t, preds[lvl] + 8ull * lvl));
+                }
+                rec.ofence(t);
+                for (unsigned lvl = 0; lvl < level; ++lvl)
+                    log.loggedStore(t, preds[lvl] + 8ull * lvl, node);
+                log.commitSection(t);
+            } else if (exists && keys.percent(50)) {
+                // Delete: unlink at every level where it appears.
+                for (unsigned lvl = 0; lvl < maxLevel; ++lvl) {
+                    const std::uint64_t nxt =
+                        rec.load64(t, preds[lvl] + 8ull * lvl);
+                    if (nxt == at0) {
+                        log.loggedStore(t, preds[lvl] + 8ull * lvl,
+                                        rec.load64(t, at0 + 8ull * lvl));
+                    }
+                }
+                log.commitSection(t);
+            }
+            rec.lockRelease(t, lock);
+            if ((op + 1) % 64 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

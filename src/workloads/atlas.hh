@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ATLAS-style hand-written persistent data structures (Chakrabarti et
+ * al., OOPSLA'14): heap, queue and skip list, as in the paper's
+ * Table III ("Insert/delete elements").
+ *
+ * Atlas makes lock-based code durable: every store inside a critical
+ * section is preceded by an undo-log record (log entry persisted and
+ * ordered before the data store), and log entries are appended to a
+ * per-thread persistent log. This produces the characteristic
+ * "log write, ofence, data write" pattern plus lock-induced
+ * cross-thread dependencies.
+ */
+
+#ifndef ASAP_WORKLOADS_ATLAS_HH
+#define ASAP_WORKLOADS_ATLAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Per-thread Atlas undo log. */
+class AtlasLog
+{
+  public:
+    AtlasLog(TraceRecorder &rec, unsigned num_threads);
+
+    /**
+     * Persist an undo record for @p addr (old value read + log entry
+     * write + ofence), Atlas's store instrumentation.
+     */
+    void loggedStore(unsigned t, std::uint64_t addr,
+                     std::uint64_t value);
+
+    /** Critical-section end: make the log prefix durable. */
+    void commitSection(unsigned t);
+
+  private:
+    TraceRecorder &rec;
+    std::vector<std::uint64_t> logBase;
+    std::vector<std::uint64_t> logPos;
+    static constexpr std::uint64_t logBytes = 1u << 20;
+};
+
+void genAtlasHeap(TraceRecorder &rec, const WorkloadParams &p);
+void genAtlasQueue(TraceRecorder &rec, const WorkloadParams &p);
+void genAtlasSkiplist(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_ATLAS_HH

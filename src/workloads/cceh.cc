@@ -1,0 +1,253 @@
+#include "workloads/cceh.hh"
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+Cceh::Cceh(TraceRecorder &rec, unsigned initial_depth)
+    : rec(rec), depth(initial_depth), dirLock(rec.makeLock())
+{
+    const unsigned nsegs = 1u << depth;
+    for (unsigned i = 0; i < nsegs; ++i) {
+        segments.push_back(Segment{allocSegment(), depth,
+                                   rec.makeLock()});
+        directory.push_back(i);
+    }
+    dirPm = rec.space().alloc(nsegs * 8, lineBytes);
+    for (unsigned i = 0; i < nsegs; ++i)
+        rec.space().write64(dirPm + 8ull * i, segments[i].base);
+}
+
+std::uint64_t
+Cceh::allocSegment()
+{
+    return rec.space().alloc(bucketsPerSegment * lineBytes, lineBytes);
+}
+
+std::uint64_t
+Cceh::segmentIndex(std::uint64_t h) const
+{
+    return h >> (64 - depth);
+}
+
+bool
+Cceh::insertIntoSegment(unsigned t, unsigned seg_idx, std::uint64_t key,
+                        std::uint64_t value, bool record)
+{
+    Segment &seg = segments[seg_idx];
+    const std::uint64_t h = hash64(key);
+    const std::uint64_t home = (h >> 8) % bucketsPerSegment;
+    for (unsigned p = 0; p < probeDistance; ++p) {
+        const std::uint64_t b = (home + p) % bucketsPerSegment;
+        const std::uint64_t baddr = seg.base + b * lineBytes;
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            std::uint64_t cur;
+            if (record) {
+                cur = rec.load64(t, kaddr);
+            } else {
+                cur = rec.space().read64(kaddr);
+            }
+            if (cur == 0 || cur == key) {
+                if (record) {
+                    // Value first, then the key that publishes it
+                    // (the key write is the commit point).
+                    rec.store64(t, kaddr + 8, value);
+                    rec.store64(t, kaddr, key);
+                    rec.ofence(t);
+                } else {
+                    rec.space().write64(kaddr + 8, value);
+                    rec.space().write64(kaddr, key);
+                }
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+Cceh::split(unsigned t, unsigned seg_idx)
+{
+    ++numSplits;
+    const unsigned new_depth = segments[seg_idx].localDepth + 1;
+
+    if (new_depth > depth) {
+        // Directory doubling: the volatile mirror doubles and the
+        // persistent directory is rewritten (under the directory
+        // lock: concurrent splitters of other segments write
+        // neighbouring directory entries).
+        const unsigned old_size = 1u << depth;
+        ++depth;
+        std::vector<unsigned> bigger(2ull * old_size);
+        for (unsigned i = 0; i < old_size; ++i) {
+            bigger[2 * i] = directory[i];
+            bigger[2 * i + 1] = directory[i];
+        }
+        directory = std::move(bigger);
+        dirPm = rec.space().alloc(directory.size() * 8, lineBytes);
+        rec.lockAcquire(t, dirLock);
+        for (std::size_t i = 0; i < directory.size(); ++i) {
+            rec.store64(t, dirPm + 8ull * i,
+                        segments[directory[i]].base);
+            if (i % 8 == 7)
+                rec.ofence(t);
+        }
+        rec.ofence(t);
+        rec.lockRelease(t, dirLock);
+    }
+
+    // Create the sibling segment and redistribute keys on the new
+    // depth bit. CCEH rehashes the splitting segment's pairs; each
+    // moved pair is a fresh bucket write.
+    const unsigned sib_idx = static_cast<unsigned>(segments.size());
+    segments.push_back(Segment{allocSegment(), new_depth,
+                               rec.makeLock()});
+    // Re-reference after the push_back: the vector may have moved.
+    Segment &old = segments[seg_idx];
+    old.localDepth = new_depth;
+    Segment &sib = segments[sib_idx];
+    // Hold the sibling's lock while populating it: later inserts into
+    // the sibling synchronise on it.
+    rec.lockAcquire(t, sib.lock);
+
+    for (unsigned b = 0; b < bucketsPerSegment; ++b) {
+        const std::uint64_t baddr = old.base + b * lineBytes;
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            const std::uint64_t key = rec.load64(t, kaddr);
+            if (key == 0)
+                continue;
+            const std::uint64_t h = hash64(key);
+            if ((h >> (64 - new_depth)) & 1u) {
+                const std::uint64_t value = rec.load64(t, kaddr + 8);
+                // Move into the sibling, clear the old slot.
+                rec.store64(t, kaddr, 0);
+                insertIntoSegmentRecorded(t, sib, key, value);
+            }
+        }
+        if (b % 8 == 7)
+            rec.ofence(t);
+    }
+    rec.ofence(t);
+
+    rec.lockRelease(t, segments[sib_idx].lock);
+
+    // Redirect the directory entries that now point at the sibling.
+    const unsigned stride = 1u << (depth - new_depth);
+    rec.lockAcquire(t, dirLock);
+    for (std::size_t i = 0; i < directory.size(); ++i) {
+        if (directory[i] == seg_idx && (i & stride)) {
+            directory[i] = sib_idx;
+            rec.store64(t, dirPm + 8ull * i,
+                        segments[sib_idx].base);
+        }
+    }
+    rec.ofence(t);
+    rec.lockRelease(t, dirLock);
+}
+
+void
+Cceh::insertIntoSegmentRecorded(unsigned t, Segment &seg,
+                                std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t h = hash64(key);
+    const std::uint64_t home = (h >> 8) % bucketsPerSegment;
+    for (unsigned p = 0; p < probeDistance * 4; ++p) {
+        const std::uint64_t b = (home + p) % bucketsPerSegment;
+        const std::uint64_t kaddr =
+            seg.base + b * lineBytes + (h % slotsPerBucket) * 16;
+        if (rec.space().read64(kaddr) == 0) {
+            rec.store64(t, kaddr + 8, value);
+            rec.store64(t, kaddr, key);
+            return;
+        }
+    }
+    // Extremely unlikely with the split redistribution; drop the key
+    // into the first free slot scan.
+    for (unsigned b = 0; b < bucketsPerSegment; ++b) {
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr =
+                seg.base + b * lineBytes + s * 16;
+            if (rec.space().read64(kaddr) == 0) {
+                rec.store64(t, kaddr + 8, value);
+                rec.store64(t, kaddr, key);
+                return;
+            }
+        }
+    }
+}
+
+bool
+Cceh::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        const std::uint64_t h = hash64(key);
+        const unsigned seg_idx = directory[segmentIndex(h)];
+        Segment &seg = segments[seg_idx];
+        rec.lockAcquire(t, seg.lock);
+        rec.compute(t, 30); // hash + fingerprint computation
+        if (insertIntoSegment(t, seg_idx, key, value, true)) {
+            rec.lockRelease(t, segments[seg_idx].lock);
+            return true;
+        }
+        split(t, seg_idx); // may reallocate the segment vector
+        rec.lockRelease(t, segments[seg_idx].lock);
+    }
+    return false;
+}
+
+std::uint64_t
+Cceh::search(unsigned t, std::uint64_t key)
+{
+    const std::uint64_t h = hash64(key);
+    const unsigned seg_idx = directory[segmentIndex(h)];
+    const Segment &seg = segments[seg_idx];
+    const std::uint64_t home = (h >> 8) % bucketsPerSegment;
+    rec.compute(t, 25);
+    for (unsigned p = 0; p < probeDistance; ++p) {
+        const std::uint64_t b = (home + p) % bucketsPerSegment;
+        const std::uint64_t baddr = seg.base + b * lineBytes;
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            if (rec.load64(t, kaddr) == key)
+                return rec.load64(t, kaddr + 8);
+        }
+    }
+    // Split relocation may displace a pair beyond the probe window;
+    // fall back to a full segment scan (the slow path a real CCEH
+    // avoids by re-splitting; rare here).
+    for (unsigned b = 0; b < bucketsPerSegment; ++b) {
+        const std::uint64_t baddr = seg.base + b * lineBytes;
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            if (rec.load64(t, kaddr) == key)
+                return rec.load64(t, kaddr + 8);
+        }
+    }
+    return 0;
+}
+
+void
+genCceh(TraceRecorder &rec, const WorkloadParams &p)
+{
+    Cceh table(rec, 2);
+    Rng keys(p.seed * 0x9e37 + 17);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 120); // key marshalling, app logic
+            if (keys.percent(p.updatePct)) {
+                table.insert(t, key, hash64(key + 1));
+            } else {
+                table.search(t, key);
+            }
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CCEH: Cacheline-Conscious Extendible Hashing (Nam et al., FAST'19).
+ *
+ * Persistent extendible hash table: a directory of segment pointers
+ * indexed by the top global-depth bits of the key hash; each segment
+ * is an array of cache-line buckets holding four key/value pairs.
+ * Inserts probe the home bucket plus a linear-probe neighbourhood;
+ * a full segment splits (lazy deletion: keys are rehashed into the
+ * new segment and the directory doubles when local depth exceeds
+ * global depth). Per-segment locks make concurrent inserts conflict
+ * on splits and hot segments — the cross-thread-dependency-heavy
+ * behaviour Figure 2 of the ASAP paper reports for CCEH.
+ */
+
+#ifndef ASAP_WORKLOADS_CCEH_HH
+#define ASAP_WORKLOADS_CCEH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Persistent extendible hash table recorded through a TraceRecorder. */
+class Cceh
+{
+  public:
+    /** Pairs per 64-byte bucket. */
+    static constexpr unsigned slotsPerBucket = 4;
+    /** Buckets per segment (4 KiB segments). */
+    static constexpr unsigned bucketsPerSegment = 64;
+    /** Linear probing distance in buckets. */
+    static constexpr unsigned probeDistance = 4;
+
+    /**
+     * @param rec recorder every access goes through
+     * @param initial_depth initial global depth (2^depth segments)
+     */
+    Cceh(TraceRecorder &rec, unsigned initial_depth = 2);
+
+    /**
+     * Insert (or update) a key.
+     * @return false if the key could not be placed even after a split
+     */
+    bool insert(unsigned t, std::uint64_t key, std::uint64_t value);
+
+    /** Lookup; returns 0 when absent. */
+    std::uint64_t search(unsigned t, std::uint64_t key);
+
+    /** Segment splits performed (test visibility). */
+    unsigned splits() const { return numSplits; }
+
+    /** Current global depth. */
+    unsigned globalDepth() const { return depth; }
+
+  private:
+    struct Segment
+    {
+        std::uint64_t base;     //!< PM address of the bucket array
+        unsigned localDepth;
+        PmLock lock;
+    };
+
+    std::uint64_t segmentIndex(std::uint64_t h) const;
+    std::uint64_t allocSegment();
+    bool insertIntoSegment(unsigned t, unsigned seg_idx,
+                           std::uint64_t key, std::uint64_t value,
+                           bool record);
+    void insertIntoSegmentRecorded(unsigned t, Segment &seg,
+                                   std::uint64_t key,
+                                   std::uint64_t value);
+    void split(unsigned t, unsigned seg_idx);
+
+    TraceRecorder &rec;
+    unsigned depth;
+    std::vector<unsigned> directory; //!< volatile copy of the directory
+    std::vector<Segment> segments;
+    std::uint64_t dirPm = 0;         //!< persistent directory array
+    PmLock dirLock;                  //!< guards persistent dir writes
+    unsigned numSplits = 0;
+};
+
+/** Driver: update-intensive insert/search mix across threads. */
+void genCceh(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_CCEH_HH

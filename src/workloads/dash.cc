@@ -1,0 +1,362 @@
+#include "workloads/dash.hh"
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+/** Bucket layout: 3 pairs (48 B) + fingerprint/metadata word (8 B). */
+constexpr unsigned pairsPerBucket = 3;
+constexpr unsigned metaOffset = 48;
+} // namespace
+
+// --------------------------------------------------------------------
+// Dash-EH
+// --------------------------------------------------------------------
+
+DashEh::DashEh(TraceRecorder &rec, unsigned initial_depth)
+    : rec(rec), depth(initial_depth)
+{
+    const unsigned nsegs = 1u << depth;
+    const std::uint64_t seg_bytes =
+        std::uint64_t(bucketsPerSegment + stashBuckets) * lineBytes;
+    for (unsigned i = 0; i < nsegs; ++i) {
+        segments.push_back(Segment{
+            rec.space().alloc(seg_bytes, lineBytes), depth,
+            rec.makeLock()});
+        directory.push_back(i);
+    }
+}
+
+bool
+DashEh::tryBucket(unsigned t, std::uint64_t bucket_addr,
+                  std::uint64_t key, std::uint64_t value)
+{
+    // Read the fingerprint word first (one load), then probe pairs.
+    rec.load64(t, bucket_addr + metaOffset);
+    for (unsigned s = 0; s < pairsPerBucket; ++s) {
+        const std::uint64_t kaddr = bucket_addr + s * 16;
+        const std::uint64_t cur = rec.load64(t, kaddr);
+        if (cur == 0 || cur == key) {
+            rec.store64(t, kaddr + 8, value);
+            rec.store64(t, kaddr, key);
+            // Publish the fingerprint; Dash orders the pair before
+            // the metadata word that makes it visible.
+            rec.ofence(t);
+            rec.store64(t, bucket_addr + metaOffset, hash64(key) >> 56);
+            rec.ofence(t);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DashEh::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        const std::uint64_t h = hash64(key);
+        const unsigned seg_idx = directory[h >> (64 - depth)];
+        Segment &seg = segments[seg_idx];
+        rec.lockAcquire(t, seg.lock);
+        rec.compute(t, 35); // hash + fingerprint filtering
+
+        const std::uint64_t home =
+            (h >> 8) % (bucketsPerSegment - 1);
+        const std::uint64_t b0 = seg.base + home * lineBytes;
+        const std::uint64_t b1 = seg.base + (home + 1) * lineBytes;
+        if (tryBucket(t, b0, key, value) ||
+            tryBucket(t, b1, key, value)) {
+            rec.lockRelease(t, segments[seg_idx].lock);
+            return true;
+        }
+        // Overflow into the stash buckets.
+        for (unsigned sb = 0; sb < stashBuckets; ++sb) {
+            const std::uint64_t sa =
+                seg.base + (bucketsPerSegment + sb) * lineBytes;
+            if (tryBucket(t, sa, key, value)) {
+                rec.lockRelease(t, segments[seg_idx].lock);
+                return true;
+            }
+        }
+        split(t, seg_idx); // may reallocate the segment vector
+        rec.lockRelease(t, segments[seg_idx].lock);
+    }
+    return false;
+}
+
+void
+DashEh::split(unsigned t, unsigned seg_idx)
+{
+    ++numSplits;
+    const unsigned new_depth = segments[seg_idx].localDepth + 1;
+    if (new_depth > depth) {
+        const unsigned old_size = 1u << depth;
+        ++depth;
+        std::vector<unsigned> bigger(2ull * old_size);
+        for (unsigned i = 0; i < old_size; ++i) {
+            bigger[2 * i] = directory[i];
+            bigger[2 * i + 1] = directory[i];
+        }
+        directory = std::move(bigger);
+    }
+
+    const unsigned sib_idx = static_cast<unsigned>(segments.size());
+    const std::uint64_t seg_bytes =
+        std::uint64_t(bucketsPerSegment + stashBuckets) * lineBytes;
+    segments.push_back(Segment{
+        rec.space().alloc(seg_bytes, lineBytes), new_depth,
+        rec.makeLock()});
+    // Re-reference after the push_back: the vector may have moved.
+    Segment &old = segments[seg_idx];
+    old.localDepth = new_depth;
+    Segment &sib = segments[sib_idx];
+    // Later inserts into the sibling synchronise on its lock.
+    rec.lockAcquire(t, sib.lock);
+
+    // Rehash: move pairs whose new depth bit is set.
+    for (unsigned b = 0; b < bucketsPerSegment + stashBuckets; ++b) {
+        const std::uint64_t baddr = old.base + b * lineBytes;
+        for (unsigned s = 0; s < pairsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            const std::uint64_t key = rec.load64(t, kaddr);
+            if (key == 0)
+                continue;
+            const std::uint64_t h = hash64(key);
+            if ((h >> (64 - new_depth)) & 1u) {
+                const std::uint64_t value = rec.load64(t, kaddr + 8);
+                rec.store64(t, kaddr, 0);
+                // Place directly into the sibling's home bucket scan.
+                const std::uint64_t home =
+                    (h >> 8) % (bucketsPerSegment - 1);
+                bool placed = false;
+                for (unsigned pb = 0;
+                     pb < bucketsPerSegment + stashBuckets && !placed;
+                     ++pb) {
+                    const std::uint64_t cand =
+                        sib.base +
+                        ((home + pb) % (bucketsPerSegment +
+                                        stashBuckets)) * lineBytes;
+                    for (unsigned cs = 0; cs < pairsPerBucket; ++cs) {
+                        const std::uint64_t ck = cand + cs * 16;
+                        if (rec.space().read64(ck) == 0) {
+                            rec.store64(t, ck + 8, value);
+                            rec.store64(t, ck, key);
+                            placed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if (b % 8 == 7)
+            rec.ofence(t);
+    }
+    rec.ofence(t);
+    rec.lockRelease(t, segments[sib_idx].lock);
+
+    const unsigned stride = 1u << (depth - new_depth);
+    for (std::size_t i = 0; i < directory.size(); ++i) {
+        if (directory[i] == seg_idx && (i & stride))
+            directory[i] = sib_idx;
+    }
+}
+
+std::uint64_t
+DashEh::search(unsigned t, std::uint64_t key)
+{
+    const std::uint64_t h = hash64(key);
+    const Segment &seg = segments[directory[h >> (64 - depth)]];
+    const std::uint64_t home = (h >> 8) % (bucketsPerSegment - 1);
+    rec.compute(t, 30);
+    for (unsigned b = 0; b < 2 + stashBuckets; ++b) {
+        const std::uint64_t baddr =
+            b < 2 ? seg.base + (home + b) * lineBytes
+                  : seg.base + (bucketsPerSegment + b - 2) * lineBytes;
+        rec.load64(t, baddr + metaOffset);
+        for (unsigned s = 0; s < pairsPerBucket; ++s) {
+            if (rec.load64(t, baddr + s * 16) == key)
+                return rec.load64(t, baddr + s * 16 + 8);
+        }
+    }
+    return 0;
+}
+
+// --------------------------------------------------------------------
+// Dash-LH
+// --------------------------------------------------------------------
+
+DashLh::DashLh(TraceRecorder &rec, unsigned top_buckets)
+    : rec(rec), topBuckets(top_buckets)
+{
+    top = allocLevel(topBuckets);
+    bottom = allocLevel(topBuckets / 2);
+    for (unsigned i = 0; i < 64; ++i)
+        locks.push_back(rec.makeLock());
+}
+
+std::uint64_t
+DashLh::allocLevel(unsigned buckets)
+{
+    return rec.space().alloc(std::uint64_t(buckets) * lineBytes,
+                             lineBytes);
+}
+
+bool
+DashLh::tryLevelBucket(unsigned t, std::uint64_t addr, std::uint64_t key,
+                       std::uint64_t value)
+{
+    for (unsigned s = 0; s < pairsPerBucket; ++s) {
+        const std::uint64_t kaddr = addr + s * 16;
+        const std::uint64_t cur = rec.load64(t, kaddr);
+        if (cur == 0 || cur == key) {
+            rec.store64(t, kaddr + 8, value);
+            rec.store64(t, kaddr, key);
+            rec.ofence(t);
+            rec.store64(t, addr + metaOffset, hash64(key) >> 56);
+            rec.ofence(t);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DashLh::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint64_t h1 = hash64(key);
+        const std::uint64_t h2 = hash64(key ^ 0xc0ffee);
+        const std::uint64_t t1 = h1 % topBuckets;
+        const std::uint64_t t2 = h2 % topBuckets;
+        PmLock &lock = locks[t1 % locks.size()];
+        rec.lockAcquire(t, lock);
+        rec.compute(t, 35);
+        const bool ok =
+            tryLevelBucket(t, top + t1 * lineBytes, key, value) ||
+            tryLevelBucket(t, top + t2 * lineBytes, key, value) ||
+            tryLevelBucket(t, bottom + (h1 % (topBuckets / 2)) *
+                                  lineBytes, key, value);
+        rec.lockRelease(t, lock);
+        if (ok)
+            return true;
+        rehash(t);
+    }
+    return false;
+}
+
+void
+DashLh::rehash(unsigned t)
+{
+    ++numRehashes;
+    // Stop-the-world resize: quiesce every bucket lock so the rehash
+    // is ordered against all concurrent writers (and they against the
+    // rehash when they reacquire).
+    for (PmLock &l : locks)
+        rec.lockAcquire(t, l);
+    // The bottom level becomes unreachable: rehash its pairs into a
+    // doubled top level; the old top becomes the new bottom.
+    const unsigned new_top_buckets = topBuckets * 2;
+    const std::uint64_t new_top = allocLevel(new_top_buckets);
+    const unsigned old_bottom_buckets = topBuckets / 2;
+    const std::uint64_t old_bottom = bottom;
+
+    bottom = top;
+    top = new_top;
+    topBuckets = new_top_buckets;
+
+    for (unsigned b = 0; b < old_bottom_buckets; ++b) {
+        const std::uint64_t baddr = old_bottom + b * lineBytes;
+        for (unsigned s = 0; s < pairsPerBucket; ++s) {
+            const std::uint64_t kaddr = baddr + s * 16;
+            const std::uint64_t key = rec.load64(t, kaddr);
+            if (key == 0)
+                continue;
+            const std::uint64_t value = rec.load64(t, kaddr + 8);
+            const std::uint64_t h1 = hash64(key);
+            // Directly place into the new top (functional fallback
+            // scan keeps the rehash total).
+            bool placed = false;
+            for (unsigned probe = 0; probe < topBuckets && !placed;
+                 ++probe) {
+                const std::uint64_t cand =
+                    top + ((h1 + probe) % topBuckets) * lineBytes;
+                for (unsigned cs = 0; cs < pairsPerBucket; ++cs) {
+                    if (rec.space().read64(cand + cs * 16) == 0) {
+                        rec.store64(t, cand + cs * 16 + 8, value);
+                        rec.store64(t, cand + cs * 16, key);
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (b % 8 == 7)
+            rec.ofence(t);
+    }
+    rec.ofence(t);
+    for (PmLock &l : locks)
+        rec.lockRelease(t, l);
+}
+
+std::uint64_t
+DashLh::search(unsigned t, std::uint64_t key)
+{
+    const std::uint64_t h1 = hash64(key);
+    const std::uint64_t h2 = hash64(key ^ 0xc0ffee);
+    rec.compute(t, 30);
+    const std::uint64_t cands[3] = {
+        top + (h1 % topBuckets) * lineBytes,
+        top + (h2 % topBuckets) * lineBytes,
+        bottom + (h1 % (topBuckets / 2)) * lineBytes,
+    };
+    for (std::uint64_t baddr : cands) {
+        for (unsigned s = 0; s < pairsPerBucket; ++s) {
+            if (rec.load64(t, baddr + s * 16) == key)
+                return rec.load64(t, baddr + s * 16 + 8);
+        }
+    }
+    return 0;
+}
+
+// --------------------------------------------------------------------
+// Drivers
+// --------------------------------------------------------------------
+
+void
+genDashEh(TraceRecorder &rec, const WorkloadParams &p)
+{
+    DashEh table(rec, 2);
+    Rng keys(p.seed * 0xda5e + 5);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 120);
+            table.insert(t, key, hash64(key + 11));
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+void
+genDashLh(TraceRecorder &rec, const WorkloadParams &p)
+{
+    DashLh table(rec, 512);
+    Rng keys(p.seed * 0xda51 + 9);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 120);
+            table.insert(t, key, hash64(key + 13));
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

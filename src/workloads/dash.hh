@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dash: scalable hashing on persistent memory (Lu et al., VLDB'20).
+ *
+ * Two variants, as in the paper's Table III:
+ *  - Dash-EH: extendible hashing with fingerprint metadata, bucket
+ *    pairs (home + neighbour displacement) and per-segment stash
+ *    buckets; full segments split.
+ *  - Dash-LH: level hashing, a two-level bucket array where a key
+ *    probes two top-level buckets and one bottom-level bucket; a full
+ *    table rehashes the bottom level into a doubled top level.
+ *
+ * Both write a fingerprint metadata word plus the pair per insert and
+ * take fine-grained bucket/segment locks, producing the frequent
+ * small epochs and cross-thread dependencies the ASAP paper reports.
+ */
+
+#ifndef ASAP_WORKLOADS_DASH_HH
+#define ASAP_WORKLOADS_DASH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Dash extendible-hashing variant. */
+class DashEh
+{
+  public:
+    static constexpr unsigned slotsPerBucket = 4;
+    static constexpr unsigned bucketsPerSegment = 56;
+    static constexpr unsigned stashBuckets = 8; //!< per segment
+
+    DashEh(TraceRecorder &rec, unsigned initial_depth = 2);
+
+    bool insert(unsigned t, std::uint64_t key, std::uint64_t value);
+    std::uint64_t search(unsigned t, std::uint64_t key);
+    unsigned splits() const { return numSplits; }
+
+  private:
+    struct Segment
+    {
+        std::uint64_t base;     //!< 64 buckets incl. stash
+        unsigned localDepth;
+        PmLock lock;
+    };
+
+    bool tryBucket(unsigned t, std::uint64_t bucket_addr,
+                   std::uint64_t key, std::uint64_t value);
+    void split(unsigned t, unsigned seg_idx);
+
+    TraceRecorder &rec;
+    unsigned depth;
+    std::vector<unsigned> directory;
+    std::vector<Segment> segments;
+    unsigned numSplits = 0;
+};
+
+/** Dash level-hashing variant. */
+class DashLh
+{
+  public:
+    static constexpr unsigned slotsPerBucket = 4;
+
+    DashLh(TraceRecorder &rec, unsigned top_buckets = 512);
+
+    bool insert(unsigned t, std::uint64_t key, std::uint64_t value);
+    std::uint64_t search(unsigned t, std::uint64_t key);
+    unsigned rehashes() const { return numRehashes; }
+
+  private:
+    bool tryLevelBucket(unsigned t, std::uint64_t addr,
+                        std::uint64_t key, std::uint64_t value);
+    void rehash(unsigned t);
+    std::uint64_t allocLevel(unsigned buckets);
+
+    TraceRecorder &rec;
+    unsigned topBuckets;
+    std::uint64_t top;    //!< topBuckets buckets
+    std::uint64_t bottom; //!< topBuckets / 2 buckets
+    std::vector<PmLock> locks;
+    unsigned numRehashes = 0;
+};
+
+void genDashEh(TraceRecorder &rec, const WorkloadParams &p);
+void genDashLh(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_DASH_HH

@@ -1,0 +1,332 @@
+#include "workloads/fast_fair.hh"
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+constexpr unsigned lockCount = 64;
+constexpr unsigned recordsPerLine = 4; //!< 16 B records in 64 B lines
+} // namespace
+
+FastFair::FastFair(TraceRecorder &rec)
+    : rec(rec), treeLock(rec.makeLock())
+{
+    for (unsigned i = 0; i < lockCount; ++i)
+        lockTable.push_back(rec.makeLock());
+    root = rec.space().alloc(nodeBytes, lineBytes);
+    rec.space().write64(root, 1); // leaf, count 0
+}
+
+PmLock &
+FastFair::lockFor(std::uint64_t node)
+{
+    return lockTable[(node / nodeBytes) % lockCount];
+}
+
+std::uint64_t
+FastFair::allocNode(unsigned t, bool leaf)
+{
+    const std::uint64_t n = rec.space().alloc(nodeBytes, lineBytes);
+    rec.storeBytes(t, n, nullptr, nodeBytes); // zeroed allocation
+    rec.space().write64(n, leaf ? 1 : 0);
+    return n;
+}
+
+unsigned
+FastFair::count(unsigned t, std::uint64_t node)
+{
+    return static_cast<unsigned>(rec.load64(t, node) >> 8);
+}
+
+bool
+FastFair::isLeaf(unsigned t, std::uint64_t node)
+{
+    return (rec.load64(t, node) & 1) != 0;
+}
+
+void
+FastFair::setHeader(unsigned t, std::uint64_t node, bool leaf,
+                    unsigned cnt)
+{
+    rec.store64(t, node, (leaf ? 1u : 0u) |
+                             (static_cast<std::uint64_t>(cnt) << 8));
+}
+
+std::uint64_t
+FastFair::recAddr(std::uint64_t node, unsigned i) const
+{
+    return node + 16 + std::uint64_t(i) * 16;
+}
+
+std::uint64_t
+FastFair::descend(unsigned t, std::uint64_t key,
+                  std::vector<std::uint64_t> &path)
+{
+    std::uint64_t node = root;
+    path.clear();
+    while (!isLeaf(t, node)) {
+        path.push_back(node);
+        const unsigned n = count(t, node);
+        std::uint64_t child = rec.load64(t, node + 8);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t k = rec.load64(t, recAddr(node, i));
+            if (key >= k)
+                child = rec.load64(t, recAddr(node, i) + 8);
+            else
+                break;
+        }
+        node = child;
+    }
+    path.push_back(node);
+    return node;
+}
+
+void
+FastFair::insertSorted(unsigned t, std::uint64_t node, std::uint64_t key,
+                       std::uint64_t value)
+{
+    const unsigned n = count(t, node);
+    unsigned pos = 0;
+    while (pos < n && rec.load64(t, recAddr(node, pos)) < key)
+        ++pos;
+
+    // In-place update when the key already exists (leaves).
+    if (pos < n && rec.load64(t, recAddr(node, pos)) == key) {
+        rec.store64(t, recAddr(node, pos) + 8, value);
+        rec.ofence(t);
+        return;
+    }
+
+    // FAST: shift records right one by one, fencing per cache line
+    // so any crash leaves a prefix-consistent node.
+    for (unsigned i = n; i > pos; --i) {
+        const std::uint64_t src = recAddr(node, i - 1);
+        const std::uint64_t dst = recAddr(node, i);
+        rec.store64(t, dst, rec.load64(t, src));
+        rec.store64(t, dst + 8, rec.load64(t, src + 8));
+        if (i % recordsPerLine == 0)
+            rec.ofence(t);
+    }
+    rec.store64(t, recAddr(node, pos) + 8, value);
+    rec.store64(t, recAddr(node, pos), key);
+    rec.ofence(t);
+    setHeader(t, node, isLeaf(t, node), n + 1);
+    rec.ofence(t);
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+FastFair::split(unsigned t, std::uint64_t node)
+{
+    ++numSplits;
+    const bool leaf = isLeaf(t, node);
+    const unsigned n = count(t, node);
+    const unsigned half = n / 2;
+    const std::uint64_t sib = allocNode(t, leaf);
+    // Later writers reach the sibling through its own node lock;
+    // holding it while populating the sibling records the ordering
+    // edge they synchronise on (race-free RP requirement).
+    PmLock &sl = lockFor(sib);
+    const bool lock_sib =
+        leaf && sl.holder != static_cast<std::int32_t>(t);
+    if (lock_sib)
+        rec.lockAcquire(t, sl);
+    const std::uint64_t sep = rec.load64(t, recAddr(node, half));
+
+    unsigned moved = 0;
+    if (leaf) {
+        for (unsigned i = half; i < n; ++i, ++moved) {
+            rec.store64(t, recAddr(sib, moved),
+                        rec.load64(t, recAddr(node, i)));
+            rec.store64(t, recAddr(sib, moved) + 8,
+                        rec.load64(t, recAddr(node, i) + 8));
+            if (moved % recordsPerLine == recordsPerLine - 1)
+                rec.ofence(t);
+        }
+        setHeader(t, sib, true, moved);
+        // FAIR: link the sibling into the leaf chain before the
+        // parent learns about it.
+        rec.store64(t, sib + 8, rec.load64(t, node + 8));
+        rec.ofence(t);
+        rec.store64(t, node + 8, sib);
+        rec.ofence(t);
+    } else {
+        // Inner: record[half] becomes the separator; its child is the
+        // sibling's leftmost pointer.
+        rec.store64(t, sib + 8, rec.load64(t, recAddr(node, half) + 8));
+        for (unsigned i = half + 1; i < n; ++i, ++moved) {
+            rec.store64(t, recAddr(sib, moved),
+                        rec.load64(t, recAddr(node, i)));
+            rec.store64(t, recAddr(sib, moved) + 8,
+                        rec.load64(t, recAddr(node, i) + 8));
+            if (moved % recordsPerLine == recordsPerLine - 1)
+                rec.ofence(t);
+        }
+        setHeader(t, sib, false, moved);
+        rec.ofence(t);
+    }
+    setHeader(t, node, leaf, half);
+    rec.ofence(t);
+    // The caller still inserts into one of the halves; it releases
+    // the sibling lock once the sibling's writes are complete.
+    pendingSibLock = lock_sib ? &sl : nullptr;
+    return {sep, sib};
+}
+
+void
+FastFair::insertRecursive(unsigned t, std::uint64_t key,
+                          std::uint64_t value,
+                          std::vector<std::uint64_t> &path,
+                          std::size_t level)
+{
+    std::uint64_t node = path[level];
+    if (count(t, node) < capacity) {
+        insertSorted(t, node, key, value);
+        return;
+    }
+
+    // Full: split, then place the record in the proper half and push
+    // the separator into the parent (creating a new root if needed).
+    auto [sep, sib] = split(t, node);
+    insertSorted(t, key >= sep ? sib : node, key, value);
+    if (pendingSibLock) {
+        rec.lockRelease(t, *pendingSibLock);
+        pendingSibLock = nullptr;
+    }
+
+    if (level == 0) {
+        const std::uint64_t new_root = allocNode(t, false);
+        rec.store64(t, new_root + 8, node);
+        rec.store64(t, recAddr(new_root, 0), sep);
+        rec.store64(t, recAddr(new_root, 0) + 8, sib);
+        setHeader(t, new_root, false, 1);
+        rec.ofence(t);
+        root = new_root;
+        ++height_;
+        return;
+    }
+    insertRecursive(t, sep, sib, path, level - 1);
+}
+
+void
+FastFair::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    std::vector<std::uint64_t> path;
+    const std::uint64_t leaf = descend(t, key, path);
+    PmLock &lock = lockFor(leaf);
+    rec.lockAcquire(t, lock);
+    rec.compute(t, 20);
+    if (count(t, leaf) < capacity) {
+        insertSorted(t, leaf, key, value);
+        rec.lockRelease(t, lock);
+        return;
+    }
+    // Splits serialize on the structure-modification lock.
+    rec.lockAcquire(t, treeLock);
+    insertRecursive(t, key, value, path, path.size() - 1);
+    rec.lockRelease(t, treeLock);
+    rec.lockRelease(t, lock);
+}
+
+bool
+FastFair::remove(unsigned t, std::uint64_t key)
+{
+    std::vector<std::uint64_t> path;
+    const std::uint64_t leaf = descend(t, key, path);
+    PmLock &lock = lockFor(leaf);
+    rec.lockAcquire(t, lock);
+    rec.compute(t, 20);
+    const unsigned n = count(t, leaf);
+    unsigned pos = n;
+    for (unsigned i = 0; i < n; ++i) {
+        if (rec.load64(t, recAddr(leaf, i)) == key) {
+            pos = i;
+            break;
+        }
+    }
+    if (pos == n) {
+        rec.lockRelease(t, lock);
+        return false;
+    }
+    // FAIR shift-left: close the gap record by record, fencing per
+    // cache line so recovery sees either the old or new record at
+    // every slot (transient duplicates are tolerated).
+    for (unsigned i = pos; i + 1 < n; ++i) {
+        const std::uint64_t src = recAddr(leaf, i + 1);
+        const std::uint64_t dst = recAddr(leaf, i);
+        rec.store64(t, dst, rec.load64(t, src));
+        rec.store64(t, dst + 8, rec.load64(t, src + 8));
+        if (i % recordsPerLine == recordsPerLine - 1)
+            rec.ofence(t);
+    }
+    setHeader(t, leaf, true, n - 1);
+    rec.ofence(t);
+    rec.lockRelease(t, lock);
+    return true;
+}
+
+unsigned
+FastFair::scan(unsigned t, std::uint64_t key, unsigned limit,
+               std::vector<std::uint64_t> &out)
+{
+    std::vector<std::uint64_t> path;
+    std::uint64_t leaf = descend(t, key, path);
+    unsigned collected = 0;
+    while (leaf != 0 && collected < limit) {
+        const unsigned n = count(t, leaf);
+        for (unsigned i = 0; i < n && collected < limit; ++i) {
+            if (rec.load64(t, recAddr(leaf, i)) >= key) {
+                out.push_back(rec.load64(t, recAddr(leaf, i) + 8));
+                ++collected;
+            }
+        }
+        leaf = rec.load64(t, leaf + 8); // FAIR sibling pointer
+    }
+    return collected;
+}
+
+std::uint64_t
+FastFair::search(unsigned t, std::uint64_t key)
+{
+    std::vector<std::uint64_t> path;
+    const std::uint64_t leaf = descend(t, key, path);
+    const unsigned n = count(t, leaf);
+    for (unsigned i = 0; i < n; ++i) {
+        if (rec.load64(t, recAddr(leaf, i)) == key)
+            return rec.load64(t, recAddr(leaf, i) + 8);
+    }
+    return 0;
+}
+
+void
+genFastFair(TraceRecorder &rec, const WorkloadParams &p)
+{
+    FastFair tree(rec);
+    Rng keys(p.seed * 0xfa57 + 29);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 150);
+            // Table III: insert/search/delete mix (plus range scans).
+            const unsigned dice =
+                static_cast<unsigned>(keys.below(100));
+            if (dice < p.updatePct - 15) {
+                tree.insert(t, key, hash64(key + 3));
+            } else if (dice < p.updatePct) {
+                tree.remove(t, key);
+            } else if (dice < p.updatePct + 5) {
+                std::vector<std::uint64_t> out;
+                tree.scan(t, key, 16, out);
+            } else {
+                tree.search(t, key);
+            }
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

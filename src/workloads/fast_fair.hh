@@ -1,0 +1,104 @@
+/**
+ * @file
+ * FAST & FAIR persistent B+-tree (Hwang et al., FAST'18).
+ *
+ * Failure-Atomic ShifT: inserting into a sorted node shifts records
+ * one by one, flushing per cache line, so readers and recovery always
+ * see either the old or the new record at every position (transient
+ * duplicates are tolerated). Failure-Atomic In-place Rebalance links
+ * split siblings through the leaf chain before the parent pointer is
+ * published. Nodes are 256 B (4 lines) holding up to 14 records.
+ */
+
+#ifndef ASAP_WORKLOADS_FAST_FAIR_HH
+#define ASAP_WORKLOADS_FAST_FAIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Persistent B+-tree with failure-atomic shifts. */
+class FastFair
+{
+  public:
+    static constexpr unsigned nodeBytes = 256;
+    static constexpr unsigned capacity = 14; //!< records per node
+
+    explicit FastFair(TraceRecorder &rec);
+
+    /** Insert a key/value pair (updates overwrite in place). */
+    void insert(unsigned t, std::uint64_t key, std::uint64_t value);
+
+    /** Point lookup; 0 when absent. */
+    std::uint64_t search(unsigned t, std::uint64_t key);
+
+    /**
+     * Delete a key (FAIR shift-left in the leaf; underfull leaves are
+     * left in place, as FAST & FAIR tolerates transient slack).
+     * @return true if the key was present
+     */
+    bool remove(unsigned t, std::uint64_t key);
+
+    /**
+     * Range scan: walk the leaf chain from @p key collecting up to
+     * @p limit values (uses the FAIR sibling pointers).
+     */
+    unsigned scan(unsigned t, std::uint64_t key, unsigned limit,
+                  std::vector<std::uint64_t> &out);
+
+    /** Tree height (test visibility). */
+    unsigned height() const { return height_; }
+    unsigned splits() const { return numSplits; }
+
+  private:
+    // Node layout (offsets in bytes):
+    //   0: flags (bit0 = leaf) | count << 8
+    //   8: sibling pointer (leaves) / leftmost child (inners)
+    //  16 + i*16: record i key
+    //  24 + i*16: record i value/child
+    std::uint64_t allocNode(unsigned t, bool leaf);
+    unsigned count(unsigned t, std::uint64_t node);
+    bool isLeaf(unsigned t, std::uint64_t node);
+    void setHeader(unsigned t, std::uint64_t node, bool leaf,
+                   unsigned count);
+    std::uint64_t recAddr(std::uint64_t node, unsigned i) const;
+
+    /** Descend to the leaf for @p key, collecting the ancestor path. */
+    std::uint64_t descend(unsigned t, std::uint64_t key,
+                          std::vector<std::uint64_t> &path);
+
+    /** FAST insertion into a non-full sorted node. */
+    void insertSorted(unsigned t, std::uint64_t node, std::uint64_t key,
+                      std::uint64_t value);
+
+    /** Split @p node, returning {separator, sibling address}. */
+    std::pair<std::uint64_t, std::uint64_t> split(unsigned t,
+                                                  std::uint64_t node);
+
+    void insertRecursive(unsigned t, std::uint64_t key,
+                         std::uint64_t value,
+                         std::vector<std::uint64_t> &path,
+                         std::size_t level);
+
+    PmLock &lockFor(std::uint64_t node);
+
+    TraceRecorder &rec;
+    std::uint64_t root;
+    unsigned height_ = 1;
+    unsigned numSplits = 0;
+    std::vector<PmLock> lockTable;
+    PmLock treeLock; //!< structure-modification lock (splits)
+    PmLock *pendingSibLock = nullptr; //!< sibling lock held by split()
+};
+
+/** Driver: update-intensive insert/search/delete-free mix. */
+void genFastFair(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_FAST_FAIR_HH

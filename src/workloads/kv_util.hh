@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small helpers shared by the key-value workloads.
+ */
+
+#ifndef ASAP_WORKLOADS_KV_UTIL_HH
+#define ASAP_WORKLOADS_KV_UTIL_HH
+
+#include <cstdint>
+
+namespace asap
+{
+
+/** 64-bit finalizer (splitmix64 tail) used as the workload hash. */
+constexpr std::uint64_t
+hash64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Non-zero key derived from an index (0 is the empty-slot marker). */
+constexpr std::uint64_t
+makeKey(std::uint64_t index)
+{
+    return hash64(index) | 1;
+}
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_KV_UTIL_HH

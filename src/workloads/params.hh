@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Common workload parameters (Table III / Section VII methodology:
+ * update-intensive configurations, key and value sizes 16B-128B).
+ */
+
+#ifndef ASAP_WORKLOADS_PARAMS_HH
+#define ASAP_WORKLOADS_PARAMS_HH
+
+#include <cstdint>
+
+namespace asap
+{
+
+/** Knobs shared by every workload generator. */
+struct WorkloadParams
+{
+    unsigned opsPerThread = 400;  //!< high-level operations per thread
+    unsigned keySpace = 1u << 14; //!< distinct keys
+    unsigned valueBytes = 64;     //!< value payload size (16-128 B)
+    unsigned updatePct = 90;      //!< % operations that write
+    std::uint64_t seed = 1;       //!< key-stream seed (mixed with rec's)
+};
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_PARAMS_HH

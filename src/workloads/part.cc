@@ -1,0 +1,259 @@
+#include "workloads/part.hh"
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+constexpr unsigned lockCount = 64;
+constexpr std::uint64_t typeLeaf = 1;
+constexpr std::uint64_t typeNode16 = 16;
+constexpr std::uint64_t typeNode256 = 256;
+
+std::uint8_t
+keyByte(std::uint64_t key, unsigned depth)
+{
+    return static_cast<std::uint8_t>(key >> (56 - 8 * depth));
+}
+} // namespace
+
+Part::Part(TraceRecorder &rec) : rec(rec)
+{
+    for (unsigned i = 0; i < lockCount; ++i)
+        lockTable.push_back(rec.makeLock());
+    // A Node256 root avoids root-growth special cases.
+    root = rec.space().alloc(node256Bytes, lineBytes);
+    rec.space().write64(root, typeNode256);
+}
+
+PmLock &
+Part::lockFor(std::uint64_t node)
+{
+    return lockTable[(node / lineBytes) % lockCount];
+}
+
+std::uint64_t
+Part::allocNode16(unsigned t)
+{
+    const std::uint64_t n = rec.space().alloc(node16Bytes, lineBytes);
+    rec.storeBytes(t, n, nullptr, node16Bytes);
+    rec.space().write64(n, typeNode16);
+    return n;
+}
+
+std::uint64_t
+Part::allocNode256(unsigned t)
+{
+    const std::uint64_t n = rec.space().alloc(node256Bytes, lineBytes);
+    // Only the header is eagerly persisted; child slots persist as
+    // they are installed (RECIPE relies on zeroed allocation).
+    rec.store64(t, n, typeNode256);
+    rec.space().write64(n, typeNode256);
+    return n;
+}
+
+std::uint64_t
+Part::allocLeaf(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t n = rec.space().alloc(24, lineBytes);
+    rec.store64(t, n + 16, value);
+    rec.store64(t, n + 8, key);
+    rec.store64(t, n, typeLeaf);
+    return n;
+}
+
+std::uint64_t
+Part::childSlot(unsigned t, std::uint64_t node, std::uint8_t b,
+                bool allocate)
+{
+    const std::uint64_t header = rec.load64(t, node);
+    const std::uint64_t type = header & 0xff0;
+
+    if ((header & 0xfff) == typeNode256 || type == typeNode256) {
+        return node + 8 + std::uint64_t(b) * 8;
+    }
+
+    // Node16: scan the key-byte array (two 8-byte words).
+    const unsigned count =
+        static_cast<unsigned>((header >> 16) & 0xff);
+    std::uint8_t bytes[16];
+    const std::uint64_t w0 = rec.load64(t, node + 8);
+    const std::uint64_t w1 = rec.load64(t, node + 16);
+    for (unsigned i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<std::uint8_t>(w0 >> (8 * i));
+        bytes[8 + i] = static_cast<std::uint8_t>(w1 >> (8 * i));
+    }
+    for (unsigned i = 0; i < count; ++i) {
+        if (bytes[i] == b)
+            return node + 24 + std::uint64_t(i) * 8;
+    }
+    if (!allocate || count >= 16)
+        return 0;
+
+    // Append the byte; the child-pointer slot is returned for the
+    // caller to publish after the child is initialised.
+    const unsigned i = count;
+    if (i < 8) {
+        const std::uint64_t nw0 =
+            (w0 & ~(0xffULL << (8 * i))) |
+            (std::uint64_t(b) << (8 * i));
+        rec.store64(t, node + 8, nw0);
+    } else {
+        const std::uint64_t nw1 =
+            (w1 & ~(0xffULL << (8 * (i - 8)))) |
+            (std::uint64_t(b) << (8 * (i - 8)));
+        rec.store64(t, node + 16, nw1);
+    }
+    rec.store64(t, node,
+                typeNode16 | (std::uint64_t(count + 1) << 16));
+    return node + 24 + std::uint64_t(i) * 8;
+}
+
+std::uint64_t
+Part::growInto(unsigned t, std::uint64_t node, std::uint64_t big,
+               std::uint64_t parent_slot)
+{
+    ++numGrows;
+    const std::uint64_t w0 = rec.load64(t, node + 8);
+    const std::uint64_t w1 = rec.load64(t, node + 16);
+    for (unsigned i = 0; i < 16; ++i) {
+        const std::uint8_t b = static_cast<std::uint8_t>(
+            i < 8 ? (w0 >> (8 * i)) : (w1 >> (8 * (i - 8))));
+        const std::uint64_t child =
+            rec.load64(t, node + 24 + std::uint64_t(i) * 8);
+        rec.store64(t, big + 8 + std::uint64_t(b) * 8, child);
+        if (i % 4 == 3)
+            rec.ofence(t);
+    }
+    rec.ofence(t);
+    // Publish the grown node.
+    rec.store64(t, parent_slot, big);
+    rec.ofence(t);
+    return big;
+}
+
+void
+Part::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    std::uint64_t cur = root;
+    std::uint64_t cur_slot = 0; //!< parent slot pointing at cur
+    for (unsigned depth = 0; depth < 8; ++depth) {
+        const std::uint8_t b = keyByte(key, depth);
+        PmLock &lock = lockFor(cur);
+        std::uint64_t slot = childSlot(t, cur, b, false);
+        std::uint64_t child = slot ? rec.load64(t, slot) : 0;
+
+        if (child == 0) {
+            rec.lockAcquire(t, lock);
+            rec.compute(t, 15);
+            // Re-find under the lock, then build-then-publish.
+            slot = childSlot(t, cur, b, true);
+            PmLock *grown_lock = nullptr;
+            if (slot == 0) {
+                // Node16 full: grow to Node256 first. Hold the grown
+                // node's own lock while writing it so later writers
+                // (locking it by address) synchronise with us.
+                const std::uint64_t big = allocNode256(t);
+                PmLock &bl = lockFor(big);
+                if (&bl != &lock &&
+                    bl.holder != static_cast<std::int32_t>(t)) {
+                    rec.lockAcquire(t, bl);
+                    grown_lock = &bl;
+                }
+                cur = growInto(t, cur, big, cur_slot);
+                slot = childSlot(t, cur, b, true);
+            }
+            const std::uint64_t leaf = allocLeaf(t, key, value);
+            rec.ofence(t);
+            rec.store64(t, slot, leaf);
+            rec.ofence(t);
+            if (grown_lock)
+                rec.lockRelease(t, *grown_lock);
+            rec.lockRelease(t, lock);
+            return;
+        }
+
+        const std::uint64_t chdr = rec.load64(t, child);
+        if ((chdr & 0xf) == typeLeaf) {
+            const std::uint64_t lkey = rec.load64(t, child + 8);
+            rec.lockAcquire(t, lock);
+            rec.compute(t, 15);
+            if (lkey == key) {
+                rec.store64(t, child + 16, value);
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+                return;
+            }
+            // Path split: push the existing leaf one level down. The
+            // new node is written under its own lock so later writers
+            // synchronise with its creation.
+            const std::uint64_t mid = allocNode16(t);
+            PmLock &ml = lockFor(mid);
+            const bool lock_mid =
+                &ml != &lock &&
+                ml.holder != static_cast<std::int32_t>(t);
+            if (lock_mid)
+                rec.lockAcquire(t, ml);
+            const std::uint64_t lslot =
+                childSlot(t, mid, keyByte(lkey, depth + 1), true);
+            rec.store64(t, lslot, child);
+            rec.ofence(t);
+            rec.store64(t, slot, mid);
+            rec.ofence(t);
+            if (lock_mid)
+                rec.lockRelease(t, ml);
+            rec.lockRelease(t, lock);
+            cur_slot = slot;
+            cur = mid;
+            continue;
+        }
+        cur_slot = slot;
+        cur = child;
+    }
+    panic("P-ART: identical 8-byte keys diverged nowhere");
+}
+
+std::uint64_t
+Part::search(unsigned t, std::uint64_t key)
+{
+    std::uint64_t cur = root;
+    rec.compute(t, 10);
+    for (unsigned depth = 0; depth < 8; ++depth) {
+        const std::uint64_t slot =
+            childSlot(t, cur, keyByte(key, depth), false);
+        if (slot == 0)
+            return 0;
+        const std::uint64_t child = rec.load64(t, slot);
+        if (child == 0)
+            return 0;
+        const std::uint64_t chdr = rec.load64(t, child);
+        if ((chdr & 0xf) == typeLeaf) {
+            if (rec.load64(t, child + 8) == key)
+                return rec.load64(t, child + 16);
+            return 0;
+        }
+        cur = child;
+    }
+    return 0;
+}
+
+void
+genPart(TraceRecorder &rec, const WorkloadParams &p)
+{
+    Part tree(rec);
+    Rng keys(p.seed * 0xa127 + 31);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 120);
+            tree.insert(t, key, hash64(key + 17));
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * P-ART: the persistent Adaptive Radix Tree from RECIPE (derived from
+ * ART, Leis et al.). Keys are processed one byte at a time through
+ * Node16 (sorted, up to 16 children) and Node256 (direct-indexed)
+ * nodes; leaves store the value. Node16 overflow grows the node into
+ * a Node256 (a burst of PM writes). Child-pointer installation is the
+ * single 8-byte commit point, ofence-ordered after the child's
+ * initialisation — the RECIPE conversion rule.
+ */
+
+#ifndef ASAP_WORKLOADS_PART_HH
+#define ASAP_WORKLOADS_PART_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Persistent adaptive radix tree over 8-byte keys. */
+class Part
+{
+  public:
+    explicit Part(TraceRecorder &rec);
+
+    void insert(unsigned t, std::uint64_t key, std::uint64_t value);
+    std::uint64_t search(unsigned t, std::uint64_t key);
+    unsigned grows() const { return numGrows; }
+
+  private:
+    // Node16 layout: [0] header (type=16 | count<<8),
+    //   [8..23] key bytes, [24 + i*8] child pointers.
+    // Node256 layout: [0] header (type=256), [8 + b*8] children.
+    // Leaf: [0] header (type=1), [8] key, [16] value.
+    static constexpr unsigned node16Bytes = 24 + 16 * 8;
+    static constexpr unsigned node256Bytes = 8 + 256 * 8;
+
+    std::uint64_t allocNode16(unsigned t);
+    std::uint64_t allocNode256(unsigned t);
+    std::uint64_t allocLeaf(unsigned t, std::uint64_t key,
+                            std::uint64_t value);
+
+    /** Find (and load) the child slot address for byte @p b, or 0. */
+    std::uint64_t childSlot(unsigned t, std::uint64_t node,
+                            std::uint8_t b, bool allocate);
+
+    /** Move a full Node16's children into @p big (a fresh Node256)
+     *  and publish it in @p parent_slot; returns @p big. */
+    std::uint64_t growInto(unsigned t, std::uint64_t node,
+                           std::uint64_t big,
+                           std::uint64_t parent_slot);
+
+    PmLock &lockFor(std::uint64_t node);
+
+    TraceRecorder &rec;
+    std::uint64_t root;
+    std::vector<PmLock> lockTable;
+    unsigned numGrows = 0;
+};
+
+void genPart(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_PART_HH

@@ -1,0 +1,147 @@
+#include "workloads/pclht.hh"
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+/** Byte offset of the next-pointer word inside a bucket line. */
+constexpr unsigned nextOffset = 48;
+/** Locks are shared by groups of buckets to bound lock count. */
+constexpr unsigned bucketsPerLock = 16;
+} // namespace
+
+Pclht::Pclht(TraceRecorder &rec, unsigned num_buckets)
+    : rec(rec), nBuckets(num_buckets)
+{
+    table = rec.space().alloc(std::uint64_t(nBuckets) * lineBytes,
+                              lineBytes);
+    for (unsigned i = 0; i < nBuckets / bucketsPerLock + 1; ++i)
+        locks.push_back(rec.makeLock());
+}
+
+std::uint64_t
+Pclht::bucketAddr(std::uint64_t h) const
+{
+    return table + (h % nBuckets) * lineBytes;
+}
+
+void
+Pclht::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t h = hash64(key);
+    PmLock &lock = locks[(h % nBuckets) / bucketsPerLock];
+    rec.lockAcquire(t, lock);
+    rec.compute(t, 25);
+
+    std::uint64_t bucket = bucketAddr(h);
+    while (true) {
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = bucket + s * 16;
+            const std::uint64_t cur = rec.load64(t, kaddr);
+            if (cur == key) {
+                // In-place value update.
+                rec.store64(t, kaddr + 8, value);
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+                return;
+            }
+            if (cur == 0) {
+                // Value first, ofence, then the publishing key write.
+                rec.store64(t, kaddr + 8, value);
+                rec.ofence(t);
+                rec.store64(t, kaddr, key);
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+                return;
+            }
+        }
+        const std::uint64_t next = rec.load64(t, bucket + nextOffset);
+        if (next != 0) {
+            bucket = next;
+            continue;
+        }
+        // Allocate an overflow bucket and link it (pointer write is
+        // the commit point, ordered after the zeroed bucket).
+        const std::uint64_t fresh =
+            rec.space().alloc(lineBytes, lineBytes);
+        ++overflowAllocs;
+        rec.storeBytes(t, fresh, nullptr, lineBytes);
+        rec.ofence(t);
+        rec.store64(t, bucket + nextOffset, fresh);
+        rec.ofence(t);
+        bucket = fresh;
+    }
+}
+
+bool
+Pclht::remove(unsigned t, std::uint64_t key)
+{
+    const std::uint64_t h = hash64(key);
+    PmLock &lock = locks[(h % nBuckets) / bucketsPerLock];
+    rec.lockAcquire(t, lock);
+    rec.compute(t, 20);
+    std::uint64_t bucket = bucketAddr(h);
+    while (bucket != 0) {
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = bucket + s * 16;
+            if (rec.load64(t, kaddr) == key) {
+                // Zeroing the key word unpublishes the pair
+                // atomically; the stale value word needs no write.
+                rec.store64(t, kaddr, 0);
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+                return true;
+            }
+        }
+        bucket = rec.load64(t, bucket + nextOffset);
+    }
+    rec.lockRelease(t, lock);
+    return false;
+}
+
+std::uint64_t
+Pclht::search(unsigned t, std::uint64_t key)
+{
+    const std::uint64_t h = hash64(key);
+    rec.compute(t, 20);
+    std::uint64_t bucket = bucketAddr(h);
+    while (bucket != 0) {
+        for (unsigned s = 0; s < slotsPerBucket; ++s) {
+            const std::uint64_t kaddr = bucket + s * 16;
+            if (rec.load64(t, kaddr) == key)
+                return rec.load64(t, kaddr + 8);
+        }
+        bucket = rec.load64(t, bucket + nextOffset);
+    }
+    return 0;
+}
+
+void
+genPclht(TraceRecorder &rec, const WorkloadParams &p)
+{
+    Pclht table(rec, 1024);
+    Rng keys(p.seed * 0x51ed + 3);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 120);
+            const unsigned dice =
+                static_cast<unsigned>(keys.below(100));
+            if (dice < p.updatePct - 10) {
+                table.insert(t, key, hash64(key + 7));
+            } else if (dice < p.updatePct) {
+                table.remove(t, key);
+            } else {
+                table.search(t, key);
+            }
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * P-CLHT: the persistent cache-line hash table from RECIPE (Lee et
+ * al., SOSP'19) — the "hash table" entry of the paper's RECIPE row.
+ *
+ * Buckets are single cache lines holding three key/value pairs and a
+ * next pointer for overflow chaining. Writers lock the bucket chain;
+ * an insert publishes the value then the key with an ofence between,
+ * so recovery never observes a key without its value.
+ */
+
+#ifndef ASAP_WORKLOADS_PCLHT_HH
+#define ASAP_WORKLOADS_PCLHT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Persistent cache-line hash table. */
+class Pclht
+{
+  public:
+    static constexpr unsigned slotsPerBucket = 3;
+
+    /**
+     * @param rec recorder
+     * @param num_buckets power-of-two bucket count
+     */
+    Pclht(TraceRecorder &rec, unsigned num_buckets = 1024);
+
+    /** Insert or update. */
+    void insert(unsigned t, std::uint64_t key, std::uint64_t value);
+
+    /** Lookup; 0 when absent. */
+    std::uint64_t search(unsigned t, std::uint64_t key);
+
+    /**
+     * Delete a key: the slot's key word is zeroed (the CLHT tombstone
+     * convention), making the slot reusable by later inserts.
+     * @return true if the key was present
+     */
+    bool remove(unsigned t, std::uint64_t key);
+
+    unsigned chains() const { return overflowAllocs; }
+
+  private:
+    /** Bucket line: 3 x (key,value) pairs + header/next in last 16 B. */
+    std::uint64_t bucketAddr(std::uint64_t h) const;
+
+    TraceRecorder &rec;
+    unsigned nBuckets;
+    std::uint64_t table;
+    std::vector<PmLock> locks; //!< one lock per bucket group
+    unsigned overflowAllocs = 0;
+};
+
+/** Driver: update-intensive insert/search mix. */
+void genPclht(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_PCLHT_HH

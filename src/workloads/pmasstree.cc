@@ -1,0 +1,287 @@
+#include "workloads/pmasstree.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+constexpr unsigned lockCount = 64;
+} // namespace
+
+PMasstree::PMasstree(TraceRecorder &rec)
+    : rec(rec), treeLock(rec.makeLock())
+{
+    for (unsigned i = 0; i < lockCount; ++i)
+        lockTable.push_back(rec.makeLock());
+    root = rec.space().alloc(nodeBytes, lineBytes);
+    rec.space().write64(root, 1); // leaf, count 0
+}
+
+PmLock &
+PMasstree::lockFor(std::uint64_t node)
+{
+    return lockTable[(node / nodeBytes) % lockCount];
+}
+
+std::uint64_t
+PMasstree::allocNode(unsigned t, bool leaf)
+{
+    const std::uint64_t n = rec.space().alloc(nodeBytes, lineBytes);
+    rec.storeBytes(t, n, nullptr, nodeBytes);
+    rec.space().write64(n, leaf ? 1 : 0);
+    return n;
+}
+
+std::uint64_t
+PMasstree::recAddr(std::uint64_t node, unsigned i) const
+{
+    return node + 32 + std::uint64_t(i) * 16;
+}
+
+unsigned
+PMasstree::count(unsigned t, std::uint64_t node)
+{
+    return static_cast<unsigned>(rec.load64(t, node) >> 8);
+}
+
+bool
+PMasstree::isLeaf(unsigned t, std::uint64_t node)
+{
+    return (rec.load64(t, node) & 1) != 0;
+}
+
+std::uint64_t
+PMasstree::descend(unsigned t, std::uint64_t key,
+                   std::vector<std::uint64_t> &path)
+{
+    std::uint64_t node = root;
+    path.clear();
+    while (!isLeaf(t, node)) {
+        path.push_back(node);
+        const unsigned n = count(t, node);
+        std::uint64_t child = rec.load64(t, node + 8);
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t k = rec.load64(t, recAddr(node, i));
+            if (key >= k)
+                child = rec.load64(t, recAddr(node, i) + 8);
+            else
+                break;
+        }
+        node = child;
+    }
+    path.push_back(node);
+    return node;
+}
+
+void
+PMasstree::insertInner(unsigned t, std::uint64_t node, std::uint64_t key,
+                       std::uint64_t child)
+{
+    // Inners are sorted (shift-based, as in Masstree's internodes).
+    const unsigned n = count(t, node);
+    unsigned pos = 0;
+    while (pos < n && rec.load64(t, recAddr(node, pos)) < key)
+        ++pos;
+    for (unsigned i = n; i > pos; --i) {
+        rec.store64(t, recAddr(node, i),
+                    rec.load64(t, recAddr(node, i - 1)));
+        rec.store64(t, recAddr(node, i) + 8,
+                    rec.load64(t, recAddr(node, i - 1) + 8));
+    }
+    rec.store64(t, recAddr(node, pos), key);
+    rec.store64(t, recAddr(node, pos) + 8, child);
+    rec.store64(t, node, (std::uint64_t(n + 1) << 8));
+    rec.ofence(t);
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+PMasstree::splitLeaf(unsigned t, std::uint64_t node)
+{
+    ++numSplits;
+    // Collect records, sort by key (volatile work), move the upper
+    // half to a fresh leaf.
+    const unsigned n = count(t, node);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> recs;
+    for (unsigned i = 0; i < n; ++i) {
+        recs.emplace_back(rec.load64(t, recAddr(node, i)),
+                          rec.load64(t, recAddr(node, i) + 8));
+    }
+    std::sort(recs.begin(), recs.end());
+    rec.compute(t, 40); // sorting / permutation maintenance
+
+    const unsigned half = n / 2;
+    const std::uint64_t sep = recs[half].first;
+    const std::uint64_t sib = allocNode(t, true);
+    // Hold the sibling's node lock while populating it so later
+    // writers (which lock the sibling by address) synchronise with
+    // this split (race-free RP requirement).
+    PmLock &sl = lockFor(sib);
+    if (sl.holder != static_cast<std::int32_t>(t)) {
+        rec.lockAcquire(t, sl);
+        pendingSibLock = &sl;
+    } else {
+        pendingSibLock = nullptr;
+    }
+    for (unsigned i = half; i < n; ++i) {
+        rec.store64(t, recAddr(sib, i - half), recs[i].first);
+        rec.store64(t, recAddr(sib, i - half) + 8, recs[i].second);
+        if ((i - half) % 4 == 3)
+            rec.ofence(t);
+    }
+    rec.store64(t, sib, 1 | (std::uint64_t(n - half) << 8));
+    rec.store64(t, sib + 16, rec.load64(t, node + 16)); // sibling link
+    rec.ofence(t);
+    rec.store64(t, node + 16, sib);
+    rec.ofence(t);
+
+    // Compact the lower half in place and republish the permutation.
+    for (unsigned i = 0; i < half; ++i) {
+        rec.store64(t, recAddr(node, i), recs[i].first);
+        rec.store64(t, recAddr(node, i) + 8, recs[i].second);
+        if (i % 4 == 3)
+            rec.ofence(t);
+    }
+    rec.store64(t, node, 1 | (std::uint64_t(half) << 8));
+    rec.store64(t, node + 8, hash64(half)); // new permutation word
+    rec.ofence(t);
+    return {sep, sib};
+}
+
+void
+PMasstree::insertUp(unsigned t, std::uint64_t key, std::uint64_t child,
+                    std::vector<std::uint64_t> &path, std::size_t level)
+{
+    std::uint64_t node = path[level];
+    if (count(t, node) < capacity) {
+        insertInner(t, node, key, child);
+        return;
+    }
+    // Split the inner node (sorted halves).
+    ++numSplits;
+    const unsigned n = count(t, node);
+    const unsigned half = n / 2;
+    const std::uint64_t sib = allocNode(t, false);
+    const std::uint64_t sep = rec.load64(t, recAddr(node, half));
+    rec.store64(t, sib + 8, rec.load64(t, recAddr(node, half) + 8));
+    for (unsigned i = half + 1; i < n; ++i) {
+        rec.store64(t, recAddr(sib, i - half - 1),
+                    rec.load64(t, recAddr(node, i)));
+        rec.store64(t, recAddr(sib, i - half - 1) + 8,
+                    rec.load64(t, recAddr(node, i) + 8));
+    }
+    rec.store64(t, sib, (std::uint64_t(n - half - 1) << 8));
+    rec.store64(t, node, (std::uint64_t(half) << 8));
+    rec.ofence(t);
+    insertInner(t, key >= sep ? sib : node, key, child);
+
+    if (level == 0) {
+        const std::uint64_t new_root = allocNode(t, false);
+        rec.store64(t, new_root + 8, node);
+        rec.store64(t, recAddr(new_root, 0), sep);
+        rec.store64(t, recAddr(new_root, 0) + 8, sib);
+        rec.store64(t, new_root, (std::uint64_t(1) << 8));
+        rec.ofence(t);
+        root = new_root;
+        return;
+    }
+    insertUp(t, sep, sib, path, level - 1);
+}
+
+void
+PMasstree::insert(unsigned t, std::uint64_t key, std::uint64_t value)
+{
+    std::vector<std::uint64_t> path;
+    const std::uint64_t leaf = descend(t, key, path);
+    PmLock &lock = lockFor(leaf);
+    rec.lockAcquire(t, lock);
+    rec.compute(t, 25);
+
+    // Unsorted leaf: look for the key among the live records.
+    const unsigned n = count(t, leaf);
+    for (unsigned i = 0; i < n; ++i) {
+        if (rec.load64(t, recAddr(leaf, i)) == key) {
+            rec.store64(t, recAddr(leaf, i) + 8, value);
+            rec.ofence(t);
+            rec.lockRelease(t, lock);
+            return;
+        }
+    }
+    if (n < capacity) {
+        // Record first, fence, then the permutation word publishes it.
+        rec.store64(t, recAddr(leaf, n), key);
+        rec.store64(t, recAddr(leaf, n) + 8, value);
+        rec.ofence(t);
+        rec.store64(t, leaf, 1 | (std::uint64_t(n + 1) << 8));
+        rec.store64(t, leaf + 8, hash64(n + 1)); // permutation word
+        rec.ofence(t);
+        rec.lockRelease(t, lock);
+        return;
+    }
+
+    rec.lockAcquire(t, treeLock);
+    auto [sep, sib] = splitLeaf(t, leaf);
+    // Insert into the proper half (both are unsorted leaves).
+    const std::uint64_t target = key >= sep ? sib : leaf;
+    const unsigned m = count(t, target);
+    rec.store64(t, recAddr(target, m), key);
+    rec.store64(t, recAddr(target, m) + 8, value);
+    rec.ofence(t);
+    rec.store64(t, target, 1 | (std::uint64_t(m + 1) << 8));
+    rec.ofence(t);
+    if (pendingSibLock) {
+        rec.lockRelease(t, *pendingSibLock);
+        pendingSibLock = nullptr;
+    }
+    // Push the separator into the ancestors.
+    if (path.size() >= 2) {
+        insertUp(t, sep, sib, path, path.size() - 2);
+    } else {
+        const std::uint64_t new_root = allocNode(t, false);
+        rec.store64(t, new_root + 8, leaf);
+        rec.store64(t, recAddr(new_root, 0), sep);
+        rec.store64(t, recAddr(new_root, 0) + 8, sib);
+        rec.store64(t, new_root, (std::uint64_t(1) << 8));
+        rec.ofence(t);
+        root = new_root;
+    }
+    rec.lockRelease(t, treeLock);
+    rec.lockRelease(t, lock);
+}
+
+std::uint64_t
+PMasstree::search(unsigned t, std::uint64_t key)
+{
+    std::vector<std::uint64_t> path;
+    const std::uint64_t leaf = descend(t, key, path);
+    const unsigned n = count(t, leaf);
+    for (unsigned i = 0; i < n; ++i) {
+        if (rec.load64(t, recAddr(leaf, i)) == key)
+            return rec.load64(t, recAddr(leaf, i) + 8);
+    }
+    return 0;
+}
+
+void
+genPMasstree(TraceRecorder &rec, const WorkloadParams &p)
+{
+    PMasstree tree(rec);
+    Rng keys(p.seed * 0x3a55 + 41);
+    const unsigned threads = rec.numThreads();
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(keys.below(p.keySpace));
+            rec.compute(t, 150);
+            tree.insert(t, key, hash64(key + 23));
+            if ((op + 1) % 128 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * P-Masstree (RECIPE's persistent Masstree, simplified to 8-byte
+ * keys, i.e. a single trie layer of B+-nodes).
+ *
+ * Masstree leaves store records unsorted and publish them through a
+ * permutation word: an insert writes the record into a free slot,
+ * fences, then atomically updates the permutation word — no shifting
+ * (contrast with FAST & FAIR). Interior nodes are sorted.
+ */
+
+#ifndef ASAP_WORKLOADS_PMASSTREE_HH
+#define ASAP_WORKLOADS_PMASSTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** Simplified persistent Masstree. */
+class PMasstree
+{
+  public:
+    static constexpr unsigned capacity = 14;
+
+    explicit PMasstree(TraceRecorder &rec);
+
+    void insert(unsigned t, std::uint64_t key, std::uint64_t value);
+    std::uint64_t search(unsigned t, std::uint64_t key);
+    unsigned splits() const { return numSplits; }
+
+  private:
+    // Node layout:
+    //   0: header (leaf flag | count << 8)
+    //   8: permutation word (leaves) / leftmost child (inners)
+    //  16: sibling (leaves)
+    //  32 + i*16: record i (key, value/child)
+    static constexpr unsigned nodeBytes = 32 + capacity * 16;
+
+    std::uint64_t allocNode(unsigned t, bool leaf);
+    std::uint64_t recAddr(std::uint64_t node, unsigned i) const;
+    unsigned count(unsigned t, std::uint64_t node);
+    bool isLeaf(unsigned t, std::uint64_t node);
+
+    std::uint64_t descend(unsigned t, std::uint64_t key,
+                          std::vector<std::uint64_t> &path);
+    void insertInner(unsigned t, std::uint64_t node, std::uint64_t key,
+                     std::uint64_t child);
+    std::pair<std::uint64_t, std::uint64_t> splitLeaf(
+        unsigned t, std::uint64_t node);
+    void insertUp(unsigned t, std::uint64_t key, std::uint64_t child,
+                  std::vector<std::uint64_t> &path, std::size_t level);
+
+    PmLock &lockFor(std::uint64_t node);
+
+    TraceRecorder &rec;
+    std::uint64_t root;
+    std::vector<PmLock> lockTable;
+    PmLock treeLock;
+    PmLock *pendingSibLock = nullptr; //!< sibling lock from splitLeaf
+    unsigned numSplits = 0;
+};
+
+void genPMasstree(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_PMASSTREE_HH

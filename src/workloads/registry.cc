@@ -1,0 +1,61 @@
+#include "workloads/registry.hh"
+
+#include "sim/log.hh"
+#include "workloads/atlas.hh"
+#include "workloads/cceh.hh"
+#include "workloads/dash.hh"
+#include "workloads/fast_fair.hh"
+#include "workloads/part.hh"
+#include "workloads/pclht.hh"
+#include "workloads/pmasstree.hh"
+#include "workloads/whisper.hh"
+
+namespace asap
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"nstore", "PM-native DBMS (WHISPER)", genNstore},
+        {"echo", "scalable key-value store (WHISPER)", genEcho},
+        {"vacation", "travel reservation system (WHISPER/PMDK)",
+         genVacation},
+        {"memcached", "in-memory key-value cache (WHISPER/PMDK)",
+         genMemcached},
+        {"heap", "ATLAS binary heap", genAtlasHeap},
+        {"queue", "ATLAS FIFO queue", genAtlasQueue},
+        {"skiplist", "ATLAS skip list", genAtlasSkiplist},
+        {"cceh", "cacheline-conscious extendible hashing", genCceh},
+        {"fast_fair", "FAST & FAIR B+-tree", genFastFair},
+        {"dash-lh", "Dash level hashing", genDashLh},
+        {"dash-eh", "Dash extendible hashing", genDashEh},
+        {"p-art", "RECIPE persistent ART", genPart},
+        {"p-clht", "RECIPE persistent CLHT hash table", genPclht},
+        {"p-masstree", "RECIPE persistent Masstree", genPMasstree},
+    };
+    return registry;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '", name, "'");
+    return allWorkloads().front(); // unreachable
+}
+
+TraceSet
+buildTrace(const std::string &name, unsigned threads,
+           const WorkloadParams &p)
+{
+    const WorkloadInfo &w = findWorkload(name);
+    TraceRecorder rec(threads, p.seed);
+    w.generate(rec, p);
+    return rec.finish();
+}
+
+} // namespace asap

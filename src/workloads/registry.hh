@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload registry: the paper's Table III benchmark suite by name.
+ *
+ * Order matches Figure 8's x-axis: WHISPER applications, ATLAS
+ * structures, then the concurrent persistent indexes.
+ */
+
+#ifndef ASAP_WORKLOADS_REGISTRY_HH
+#define ASAP_WORKLOADS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/** A named workload generator. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    std::function<void(TraceRecorder &, const WorkloadParams &)> generate;
+};
+
+/** All Table III workloads, in Figure 8 order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Find a workload by name (fatal if unknown). */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+/**
+ * Convenience: record a workload's trace.
+ *
+ * @param name registry name
+ * @param threads logical threads
+ * @param p generator parameters
+ */
+TraceSet buildTrace(const std::string &name, unsigned threads,
+                    const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_REGISTRY_HH

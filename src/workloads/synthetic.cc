@@ -1,0 +1,111 @@
+#include "workloads/synthetic.hh"
+
+#include <vector>
+
+namespace asap
+{
+
+void
+genSyntheticWorkload(TraceRecorder &rec, const SyntheticParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    Rng &rng = rec.rng();
+
+    // Shared region split into lock-protected groups plus a private
+    // region per thread.
+    const std::uint64_t shared =
+        rec.space().alloc(p.regionLines * lineBytes, lineBytes);
+    std::vector<std::uint64_t> priv;
+    for (unsigned t = 0; t < threads; ++t)
+        priv.push_back(rec.space().alloc(p.regionLines * lineBytes,
+                                         lineBytes));
+    std::vector<PmLock> locks;
+    for (unsigned l = 0; l < p.lockCount; ++l)
+        locks.push_back(rec.makeLock());
+
+    // Interleave whole steps round-robin across threads; the replay
+    // cores run them concurrently subject to the recorded lock edges.
+    std::vector<unsigned> step(threads, 0);
+    for (unsigned s = 0; s < p.opsPerThread; ++s) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const bool is_shared = rng.percent(p.sharedPct);
+            if (is_shared) {
+                const unsigned li =
+                    static_cast<unsigned>(rng.below(p.lockCount));
+                PmLock &lock = locks[li];
+                // Each lock owns an interleaved slice of the region.
+                rec.lockAcquire(t, lock);
+                for (unsigned w = 0; w < p.storesPerStep; ++w) {
+                    const std::uint64_t line =
+                        li + p.lockCount * rng.below(
+                            p.regionLines / p.lockCount);
+                    rec.store64(t, shared + line * lineBytes,
+                                rng.next());
+                }
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+            } else {
+                for (unsigned w = 0; w < p.storesPerStep; ++w) {
+                    const std::uint64_t line = rng.below(p.regionLines);
+                    rec.store64(t, priv[t] + line * lineBytes,
+                                rng.next());
+                }
+                if (p.ofenceEvery && step[t] % p.ofenceEvery == 0)
+                    rec.ofence(t);
+            }
+            if (p.dfenceEvery && step[t] > 0 &&
+                step[t] % p.dfenceEvery == 0) {
+                rec.dfence(t);
+            }
+            rec.compute(t, 1 + static_cast<std::uint32_t>(
+                               rng.below(p.computeCycles)));
+            ++step[t];
+        }
+    }
+}
+
+void
+genHandoffMicrobench(TraceRecorder &rec, unsigned handoffs)
+{
+    const unsigned threads = rec.numThreads();
+    PmLock lock = rec.makeLock();
+    const std::uint64_t region =
+        rec.space().alloc(16 * lineBytes, lineBytes);
+    Rng &rng = rec.rng();
+
+    for (unsigned h = 0; h < handoffs; ++h) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.lockAcquire(t, lock);
+            rec.store64(t, region + (h % 16) * lineBytes, rng.next());
+            rec.store64(t, region + ((h + 7) % 16) * lineBytes,
+                        rng.next());
+            rec.ofence(t);
+            rec.lockRelease(t, lock);
+            rec.compute(t, 30);
+        }
+    }
+}
+
+void
+genBandwidthMicrobench(TraceRecorder &rec, unsigned bursts)
+{
+    const unsigned threads = rec.numThreads();
+    // 256 B = 4 lines; consecutive bursts land on alternating MCs
+    // because the interleave grain is 256 B.
+    const std::uint64_t burstBytes = 256;
+    std::vector<std::uint64_t> region;
+    for (unsigned t = 0; t < threads; ++t)
+        region.push_back(rec.space().alloc(bursts * burstBytes, 256));
+
+    for (unsigned b = 0; b < bursts; ++b) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t base = region[t] + b * burstBytes;
+            for (unsigned l = 0; l < burstBytes / lineBytes; ++l)
+                rec.store64(t, base + l * lineBytes, rec.rng().next());
+            rec.ofence(t);
+            rec.compute(t, 4);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic trace generators: random recoverable programs for
+ * property/fuzz testing and the Figure 13 bandwidth microbenchmark.
+ */
+
+#ifndef ASAP_WORKLOADS_SYNTHETIC_HH
+#define ASAP_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "pm/recorder.hh"
+
+namespace asap
+{
+
+/** Shape knobs for the random program generator. */
+struct SyntheticParams
+{
+    unsigned opsPerThread = 200;   //!< high-level steps per thread
+    unsigned regionLines = 64;     //!< shared PM lines the threads hit
+    unsigned lockCount = 4;        //!< locks protecting line groups
+    unsigned storesPerStep = 3;    //!< PM stores inside a step
+    unsigned ofenceEvery = 2;      //!< steps between ofences
+    unsigned dfenceEvery = 16;     //!< steps between dfences
+    unsigned computeCycles = 240;  //!< think time between steps
+    unsigned sharedPct = 40;       //!< % of steps touching shared lines
+};
+
+/**
+ * Generate a random, race-free recoverable program: each thread
+ * performs steps that optionally take a lock, write a few PM lines
+ * (lock-partitioned when shared), and fence periodically. Exercises
+ * write collisions, cross-thread dependencies, eager flushing and
+ * every Table I action.
+ */
+void genSyntheticWorkload(TraceRecorder &rec, const SyntheticParams &p);
+
+/**
+ * Figure 13's bandwidth microbenchmark: each thread issues 256-byte
+ * writes alternating across the memory controllers, ordered with
+ * ofence between bursts.
+ *
+ * @param bursts number of 256 B write bursts per thread
+ */
+void genBandwidthMicrobench(TraceRecorder &rec, unsigned bursts);
+
+/**
+ * Lock-handoff microbenchmark: all threads ping-pong one lock, each
+ * critical section writing a couple of PM lines. Every handoff is a
+ * cross-thread dependency, so total runtime is dominated by the
+ * dependency-resolution mechanism — ASAP's direct CDR messages versus
+ * HOPS's 500-cycle polling of the global timestamp register
+ * (Section IV-E's third advantage).
+ *
+ * @param handoffs critical sections per thread
+ */
+void genHandoffMicrobench(TraceRecorder &rec, unsigned handoffs);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_SYNTHETIC_HH

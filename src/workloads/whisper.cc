@@ -1,0 +1,216 @@
+#include "workloads/whisper.hh"
+
+#include <vector>
+
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+void
+genNstore(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    Rng rng(p.seed * 0x0571 + 2);
+
+    // Per-thread WAL region + a shared table of tuples.
+    std::vector<std::uint64_t> wal, walPos;
+    for (unsigned t = 0; t < threads; ++t) {
+        wal.push_back(rec.space().alloc(2u << 20, lineBytes));
+        walPos.push_back(0);
+    }
+    const unsigned tuples = p.keySpace;
+    const std::uint64_t table =
+        rec.space().alloc(std::uint64_t(tuples) * lineBytes, lineBytes);
+    PmLock tableLock = rec.makeLock(); // coarse table latch
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.compute(t, 150); // SQL parse/plan
+
+            // Append a 4-line log record (sequential WAL traffic).
+            const unsigned logLines = 3 + rng.below(3);
+            for (unsigned l = 0; l < logLines; ++l) {
+                const std::uint64_t a =
+                    wal[t] + (walPos[t] % ((2u << 20) - lineBytes));
+                rec.store64(t, a, rng.next());
+                rec.store64(t, a + 32, rng.next());
+                walPos[t] += lineBytes;
+            }
+            rec.ofence(t); // log before data
+
+            // Update 1-3 tuples in place.
+            const unsigned nt = 1 + rng.below(3);
+            rec.lockAcquire(t, tableLock);
+            for (unsigned u = 0; u < nt; ++u) {
+                const std::uint64_t tuple =
+                    table + rng.below(tuples) * lineBytes;
+                rec.load64(t, tuple);
+                rec.store64(t, tuple, rng.next());
+                rec.store64(t, tuple + 8, rng.next());
+            }
+            rec.lockRelease(t, tableLock);
+            // Transaction commit: durability point.
+            rec.dfence(t);
+        }
+    }
+}
+
+void
+genEcho(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    Rng rng(p.seed * 0xec40 + 13);
+
+    std::vector<std::uint64_t> logs, logPos;
+    for (unsigned t = 0; t < threads; ++t) {
+        logs.push_back(rec.space().alloc(1u << 20, lineBytes));
+        logPos.push_back(0);
+    }
+    const unsigned buckets = 4096;
+    const std::uint64_t index =
+        rec.space().alloc(std::uint64_t(buckets) * lineBytes, lineBytes);
+    std::vector<PmLock> bucketLocks;
+    for (unsigned i = 0; i < 64; ++i)
+        bucketLocks.push_back(rec.makeLock());
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.compute(t, 90);
+            // Stage the update in the worker's local log (1-2 lines).
+            const unsigned lines = 1 + rng.below(2);
+            for (unsigned l = 0; l < lines; ++l) {
+                const std::uint64_t a =
+                    logs[t] + (logPos[t] % ((1u << 20) - lineBytes));
+                rec.store64(t, a, rng.next());
+                logPos[t] += lineBytes;
+            }
+            rec.ofence(t);
+            // Commit into the shared index under a short bucket lock.
+            const std::uint64_t h = rng.next();
+            PmLock &lock = bucketLocks[h % bucketLocks.size()];
+            rec.lockAcquire(t, lock);
+            const std::uint64_t slot =
+                index + (h % buckets) * lineBytes;
+            rec.load64(t, slot);
+            rec.store64(t, slot, h | 1);
+            rec.store64(t, slot + 8, rng.next());
+            rec.ofence(t);
+            rec.lockRelease(t, lock);
+            if ((op + 1) % 32 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+void
+genVacation(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    Rng rng(p.seed * 0xaca7 + 19);
+
+    // Reservation tables (cars/flights/rooms/customers).
+    const unsigned rows = p.keySpace;
+    std::uint64_t tables[4];
+    for (auto &tb : tables)
+        tb = rec.space().alloc(std::uint64_t(rows) * lineBytes,
+                               lineBytes);
+    // Per-thread PMDK-style undo log.
+    std::vector<std::uint64_t> undo;
+    for (unsigned t = 0; t < threads; ++t)
+        undo.push_back(rec.space().alloc(1u << 18, lineBytes));
+    PmLock managerLock = rec.makeLock(); // the coarse-grained lock
+
+    std::vector<std::uint64_t> undoPos(threads, 0);
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            rec.compute(t, 120); // query planning / tree lookups
+            rec.lockAcquire(t, managerLock);
+
+            // PMDK transaction: undo-log entry, fence, data write,
+            // for each of 3-5 touched rows.
+            const unsigned touches = 3 + rng.below(3);
+            for (unsigned u = 0; u < touches; ++u) {
+                const std::uint64_t row =
+                    tables[rng.below(4)] + rng.below(rows) * lineBytes;
+                const std::uint64_t old = rec.load64(t, row);
+                const std::uint64_t ua =
+                    undo[t] + (undoPos[t] % ((1u << 18) - 16));
+                undoPos[t] += 16;
+                rec.store64(t, ua, row);
+                rec.store64(t, ua + 8, old);
+                rec.ofence(t);
+                rec.store64(t, row, old + 1);
+            }
+            rec.dfence(t); // transaction commit
+
+            // Volatile bookkeeping before the lock is released: by
+            // the time another thread acquires the manager lock the
+            // writes have already drained (Section VII-A).
+            rec.compute(t, 900);
+            rec.lockRelease(t, managerLock);
+        }
+    }
+}
+
+void
+genMemcached(TraceRecorder &rec, const WorkloadParams &p)
+{
+    const unsigned threads = rec.numThreads();
+    Rng rng(p.seed * 0x3e3c + 23);
+
+    const unsigned buckets = 8192;
+    const std::uint64_t table =
+        rec.space().alloc(std::uint64_t(buckets) * lineBytes, lineBytes);
+    // Slab area for item payloads.
+    const unsigned slabItems = 4096;
+    const unsigned itemBytes =
+        (p.valueBytes + lineBytes - 1) / lineBytes * lineBytes;
+    const std::uint64_t slabs = rec.space().alloc(
+        std::uint64_t(slabItems) * itemBytes, lineBytes);
+    std::vector<PmLock> bucketLocks;
+    for (unsigned i = 0; i < 128; ++i)
+        bucketLocks.push_back(rec.makeLock());
+    std::vector<std::uint8_t> payload(itemBytes, 0xab);
+
+    for (unsigned op = 0; op < p.opsPerThread; ++op) {
+        for (unsigned t = 0; t < threads; ++t) {
+            const std::uint64_t key = makeKey(rng.below(p.keySpace));
+            const std::uint64_t h = hash64(key);
+            rec.compute(t, 150); // request parsing
+            if (rng.percent(p.updatePct)) {
+                // SET: write the item into a slab, then publish in
+                // the bucket. Both under the bucket lock: the slab
+                // slot is shared by keys that hash together.
+                const std::uint64_t item =
+                    slabs + (h % slabItems) * itemBytes;
+                PmLock &lock =
+                    bucketLocks[h % bucketLocks.size()];
+                rec.lockAcquire(t, lock);
+                rec.storeBytes(t, item, payload.data(), itemBytes);
+                rec.ofence(t);
+                const std::uint64_t slot =
+                    table + (h % buckets) * lineBytes;
+                rec.store64(t, slot, key);
+                rec.store64(t, slot + 8, item);
+                rec.ofence(t);
+                rec.lockRelease(t, lock);
+            } else {
+                // GET.
+                const std::uint64_t slot =
+                    table + (h % buckets) * lineBytes;
+                if (rec.load64(t, slot) == key) {
+                    const std::uint64_t item =
+                        rec.load64(t, slot + 8);
+                    rec.loadBytes(t, item, nullptr, itemBytes);
+                }
+            }
+            // LRU maintenance is volatile.
+            rec.compute(t, 30);
+            if ((op + 1) % 64 == 0)
+                rec.dfence(t);
+        }
+    }
+}
+
+} // namespace asap

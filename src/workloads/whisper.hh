@@ -1,0 +1,42 @@
+/**
+ * @file
+ * WHISPER-suite application generators (Nalli et al., ASPLOS'17).
+ *
+ * The paper evaluates four WHISPER applications: Nstore and Echo
+ * (PM-native) plus Vacation and Memcached (PMDK-based). We reconstruct
+ * each as a generator that reproduces its published persist-stream
+ * profile — epoch sizes, log-vs-data mix, locking granularity and
+ * cross-thread dependency frequency (rare for all four, per Figure 2):
+ *
+ *  - Nstore: WAL-based DBMS. Transactions append multi-line log
+ *    records sequentially, then update table tuples in place; commit
+ *    is a dfence. Large epochs, high write volume (the workload that
+ *    fills ASAP's recovery table, Section VII-B).
+ *  - Echo: scalable KV-store. Worker threads stage updates into
+ *    per-thread persistent logs, then a lightweight commit publishes
+ *    them into a shared hash index under short locks.
+ *  - Vacation: travel-reservation system on a PMDK-style transaction:
+ *    coarse-grained lock, undo-log entry before each data write, and
+ *    volatile bookkeeping *before releasing the lock* — which is why
+ *    eager flushing gains little here (Section VII-A).
+ *  - Memcached: slab KV cache with a persistent hash table and
+ *    per-bucket locks; small epochs, few conflicts.
+ */
+
+#ifndef ASAP_WORKLOADS_WHISPER_HH
+#define ASAP_WORKLOADS_WHISPER_HH
+
+#include "pm/recorder.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+void genNstore(TraceRecorder &rec, const WorkloadParams &p);
+void genEcho(TraceRecorder &rec, const WorkloadParams &p);
+void genVacation(TraceRecorder &rec, const WorkloadParams &p);
+void genMemcached(TraceRecorder &rec, const WorkloadParams &p);
+
+} // namespace asap
+
+#endif // ASAP_WORKLOADS_WHISPER_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the crash-consistency checker itself: it must accept
+ * legal post-crash states and reject each class of violation the
+ * Section VI theorems rule out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/nvm_contents.hh"
+#include "recovery/checker.hh"
+#include "recovery/run_log.hh"
+
+namespace asap
+{
+namespace
+{
+
+struct CheckerFixture : public ::testing::Test
+{
+    RunLog log;
+    NvmContents nvm;
+    std::vector<std::uint64_t> committed{0, 0};
+
+    CheckResult
+    check()
+    {
+        return checkCrashConsistency(log, nvm, committed);
+    }
+};
+
+TEST_F(CheckerFixture, EmptyRunIsConsistent)
+{
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, AllWritesSurvivedIsConsistent)
+{
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 101, 22);
+    nvm.write(100, 11);
+    nvm.write(101, 22);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, NothingSurvivedIsConsistent)
+{
+    log.recordStore(0, 1, 100, 11);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, PrefixSurvivalIsConsistent)
+{
+    // Epoch 1 survived, epoch 2 did not: legal.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 101, 22);
+    nvm.write(100, 11);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, LaterEpochWithoutEarlierIsViolation)
+{
+    // Epoch 2's write survived while epoch 1's (same thread) is lost.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 101, 22);
+    nvm.write(101, 22);
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("ancestor"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CrossThreadDependencyViolation)
+{
+    // Thread 1 epoch 5 depends on thread 0 epoch 1; the dependent's
+    // write survived, the source's did not.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(1, 5, 200, 55);
+    log.recordEdge(1, 5, 0, 1);
+    nvm.write(200, 55);
+    EXPECT_FALSE(check().ok);
+    nvm.write(100, 11);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, TransitiveDependencyViolation)
+{
+    // t2.e3 -> t1.e2 -> t0.e1; only the deepest write is lost.
+    log.recordStore(0, 1, 100, 1);
+    log.recordStore(1, 2, 101, 2);
+    log.recordStore(2, 3, 102, 3);
+    log.recordEdge(1, 2, 0, 1);
+    log.recordEdge(2, 3, 1, 2);
+    committed = {0, 0, 0};
+    nvm.write(102, 3);
+    nvm.write(101, 2);
+    EXPECT_FALSE(check().ok) << "t0.e1 write missing";
+    nvm.write(100, 1);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, CommittedEpochMustBeDurable)
+{
+    log.recordStore(0, 1, 100, 11);
+    committed[0] = 1; // hardware reported epoch 1 committed
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("committed"), std::string::npos);
+    nvm.write(100, 11);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, OverwrittenCommittedWriteIsFine)
+{
+    // Epoch 1's write was overwritten by epoch 2's surviving write:
+    // epoch 1 is still "visible" (superseded in line order).
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 100, 22);
+    committed[0] = 2;
+    nvm.write(100, 22);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, OlderValueSurvivingUnderCommitIsViolation)
+{
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 100, 22);
+    committed[0] = 2;
+    nvm.write(100, 11); // rolled back past a committed epoch
+    EXPECT_FALSE(check().ok);
+}
+
+TEST_F(CheckerFixture, AlienValueDetected)
+{
+    log.recordStore(0, 1, 100, 11);
+    nvm.write(100, 999); // never written by any store
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("alien"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, ValueFromWrongLineDetected)
+{
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 1, 101, 22);
+    nvm.write(100, 22); // token 22 belongs to line 101
+    EXPECT_FALSE(check().ok);
+}
+
+TEST_F(CheckerFixture, PartialEpochSurvivalIsLegal)
+{
+    // Epoch 1 wrote two lines; only one survived. Legal: within an
+    // epoch, writes are unordered.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 1, 101, 22);
+    nvm.write(100, 11);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, IntraEpochLineOrderViolation)
+{
+    // Two writes to one line in one epoch: only the older may not
+    // survive while the epoch is an ancestor of a survivor.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 1, 100, 12);
+    log.recordStore(0, 2, 101, 33);
+    nvm.write(100, 11); // epoch 1's last write (12) lost...
+    nvm.write(101, 33); // ...but epoch 2 survived
+    EXPECT_FALSE(check().ok);
+}
+
+TEST_F(CheckerFixture, DuplicateTokensRejected)
+{
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 100, 11);
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("duplicate"), std::string::npos);
+}
+
+} // namespace
+} // namespace asap

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the cache/coherence substrate: tag arrays, hit
+ * levels, conflict (cross-thread dependency) detection, LLC PM
+ * eviction handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/cache_array.hh"
+#include "coherence/cache_hierarchy.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+namespace
+{
+
+// ------------------------------------------------------------ cache array
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray arr(4, 2);
+    EXPECT_FALSE(arr.access(100, false));
+    arr.insert(100, false);
+    EXPECT_TRUE(arr.access(100, false));
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    CacheArray arr(1, 2); // one set, two ways
+    arr.insert(1, false);
+    arr.insert(2, false);
+    arr.access(1, false); // 2 becomes LRU
+    CacheArray::Victim v = arr.insert(3, false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.line, 2u);
+}
+
+TEST(CacheArray, DirtyTracking)
+{
+    CacheArray arr(1, 1);
+    arr.insert(5, false);
+    arr.access(5, true); // write marks dirty
+    CacheArray::Victim v = arr.insert(6, false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(CacheArray, CleanClearsDirty)
+{
+    CacheArray arr(1, 1);
+    arr.insert(5, true);
+    arr.clean(5);
+    CacheArray::Victim v = arr.insert(6, false);
+    EXPECT_FALSE(v.dirty);
+}
+
+TEST(CacheArray, InvalidateRemoves)
+{
+    CacheArray arr(2, 2);
+    arr.insert(4, false);
+    arr.invalidate(4);
+    EXPECT_FALSE(arr.contains(4));
+    EXPECT_EQ(arr.population(), 0u);
+}
+
+TEST(CacheArray, SetsAreIndependent)
+{
+    CacheArray arr(2, 1);
+    arr.insert(0, false); // set 0
+    arr.insert(1, false); // set 1
+    EXPECT_TRUE(arr.contains(0));
+    EXPECT_TRUE(arr.contains(1));
+    arr.insert(2, false); // set 0 again: evicts 0, not 1
+    EXPECT_FALSE(arr.contains(0));
+    EXPECT_TRUE(arr.contains(1));
+}
+
+// -------------------------------------------------------- cache hierarchy
+
+struct CacheFixture : public ::testing::Test
+{
+    SimConfig cfg;
+    StatSet stats;
+
+    CacheFixture()
+    {
+        setLogQuiet(true);
+        // Small caches so misses are easy to force.
+        cfg.l1Sets = 4;
+        cfg.l1Ways = 2;
+        cfg.l2Sets = 8;
+        cfg.l2Ways = 2;
+        cfg.llcSets = 16;
+        cfg.llcWays = 2;
+    }
+};
+
+TEST_F(CacheFixture, LatencyLaddersByLevel)
+{
+    CacheHierarchy ch(cfg, stats);
+    // Cold: PM fill.
+    CacheAccess a = ch.access(0, 100, false, true);
+    EXPECT_EQ(a.latency, cfg.pmReadLatency);
+    // Warm: L1 hit.
+    a = ch.access(0, 100, false, true);
+    EXPECT_EQ(a.latency, cfg.l1Latency);
+}
+
+TEST_F(CacheFixture, VolatileMissUsesDram)
+{
+    CacheHierarchy ch(cfg, stats);
+    CacheAccess a = ch.access(0, 100, false, false);
+    EXPECT_EQ(a.latency, cfg.dramLatency);
+}
+
+TEST_F(CacheFixture, SharedLlcServesOtherCores)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, false, true);      // core 0 fills LLC
+    CacheAccess a = ch.access(1, 100, false, true);
+    EXPECT_EQ(a.latency, cfg.llcLatency) << "core 1 hits shared LLC";
+}
+
+TEST_F(CacheFixture, WriteThenRemoteReadConflicts)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, true, true);
+    CacheAccess a = ch.access(1, 100, false, true);
+    EXPECT_TRUE(a.conflict);
+    EXPECT_EQ(a.srcThread, 0u);
+    EXPECT_EQ(a.latency, cfg.cacheToCacheLatency);
+}
+
+TEST_F(CacheFixture, ReadDowngradeStopsFurtherConflicts)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, true, true);
+    ch.access(1, 100, false, true); // conflict, downgrades
+    CacheAccess a = ch.access(2, 100, false, true);
+    EXPECT_FALSE(a.conflict) << "line no longer modified";
+}
+
+TEST_F(CacheFixture, WriteAfterRemoteWriteConflicts)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, true, true);
+    CacheAccess a = ch.access(1, 100, true, true);
+    EXPECT_TRUE(a.conflict);
+    EXPECT_EQ(a.srcThread, 0u);
+    EXPECT_EQ(ch.lastWriter(100), 1);
+}
+
+TEST_F(CacheFixture, SelfAccessNeverConflicts)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, true, true);
+    CacheAccess a = ch.access(0, 100, true, true);
+    EXPECT_FALSE(a.conflict);
+}
+
+TEST_F(CacheFixture, CleanLineStopsConflict)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.access(0, 100, true, true);
+    ch.cleanLine(0, 100); // clwb semantics
+    CacheAccess a = ch.access(1, 100, false, true);
+    EXPECT_FALSE(a.conflict);
+}
+
+TEST_F(CacheFixture, LlcDirtyEvictionReported)
+{
+    CacheHierarchy ch(cfg, stats);
+    bool filter_called = false;
+    ch.setEvictFilter([&](std::uint64_t) {
+        filter_called = true;
+        return false;
+    });
+    // Write many distinct PM lines mapping to one LLC set to force a
+    // dirty eviction (LLC has 16 sets x 2 ways here).
+    for (std::uint64_t i = 0; i < 8; ++i)
+        ch.access(0, i * 16, true, true);
+    EXPECT_GT(stats.get("cache.llcDirtyEvicts"), 0u);
+    EXPECT_TRUE(filter_called);
+}
+
+TEST_F(CacheFixture, EvictFilterDelayCounted)
+{
+    CacheHierarchy ch(cfg, stats);
+    ch.setEvictFilter([](std::uint64_t) { return true; });
+    for (std::uint64_t i = 0; i < 8; ++i)
+        ch.access(0, i * 16, true, true);
+    EXPECT_GT(stats.get("cache.llcEvictDelayed"), 0u);
+}
+
+TEST_F(CacheFixture, LastWriterUnknownInitially)
+{
+    CacheHierarchy ch(cfg, stats);
+    EXPECT_EQ(ch.lastWriter(999), -1);
+}
+
+} // namespace
+} // namespace asap

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the CACTI-lite hardware cost model: Table V agreement
+ * within tolerance, physical scaling behaviour, drain-size claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cacti_lite.hh"
+
+namespace asap
+{
+namespace
+{
+
+void
+expectNear(double model, double paper, double rel_tol,
+           const char *what)
+{
+    EXPECT_NEAR(model, paper, paper * rel_tol) << what;
+}
+
+TEST(CostModel, TableVPersistBuffer)
+{
+    const CostEstimate e = estimateCost(persistBufferSpec(SimConfig{}));
+    expectNear(e.areaMm2, 0.093, 0.10, "PB area");
+    expectNear(e.accessNs, 0.402, 0.10, "PB latency");
+    expectNear(e.writePj, 30.0, 0.10, "PB write energy");
+    expectNear(e.readPj, 28.876, 0.10, "PB read energy");
+}
+
+TEST(CostModel, TableVEpochTable)
+{
+    const CostEstimate e = estimateCost(epochTableSpec(SimConfig{}));
+    expectNear(e.areaMm2, 0.006, 0.25, "ET area");
+    expectNear(e.accessNs, 0.185, 0.10, "ET latency");
+    expectNear(e.writePj, 0.428, 0.25, "ET write energy");
+    expectNear(e.readPj, 0.092, 0.25, "ET read energy");
+}
+
+TEST(CostModel, TableVRecoveryTable)
+{
+    const CostEstimate e = estimateCost(recoveryTableSpec(SimConfig{}));
+    expectNear(e.areaMm2, 0.097, 0.10, "RT area");
+    expectNear(e.accessNs, 0.413, 0.10, "RT latency");
+    expectNear(e.writePj, 31.5, 0.10, "RT write energy");
+}
+
+TEST(CostModel, TableVL1Reference)
+{
+    const CostEstimate e = estimateCost(l1CacheSpec(SimConfig{}));
+    expectNear(e.areaMm2, 0.759, 0.10, "L1 area");
+    expectNear(e.accessNs, 1.403, 0.10, "L1 latency");
+    expectNear(e.writePj, 327.86, 0.10, "L1 write energy");
+}
+
+TEST(CostModel, StructuresMuchSmallerThanL1)
+{
+    SimConfig cfg;
+    const double l1 = estimateCost(l1CacheSpec(cfg)).areaMm2;
+    EXPECT_LT(estimateCost(persistBufferSpec(cfg)).areaMm2, l1 / 5);
+    EXPECT_LT(estimateCost(epochTableSpec(cfg)).areaMm2, l1 / 50);
+    EXPECT_LT(estimateCost(recoveryTableSpec(cfg)).areaMm2, l1 / 5);
+}
+
+TEST(CostModel, ScalingIsMonotonic)
+{
+    SimConfig small, big;
+    big.rtEntries = 128;
+    const CostEstimate s = estimateCost(recoveryTableSpec(small));
+    const CostEstimate b = estimateCost(recoveryTableSpec(big));
+    EXPECT_GT(b.areaMm2, s.areaMm2);
+    EXPECT_GT(b.accessNs, s.accessNs);
+    EXPECT_GT(b.writePj, s.writePj);
+}
+
+TEST(CostModel, DrainSizesMatchSectionVIID)
+{
+    SimConfig cfg;
+    // ASAP: ~4 kB from the recovery tables.
+    EXPECT_LE(adrDrainBytes(cfg), 4.5 * 1024);
+    // BBB: ~64 kB on a 32-core server.
+    EXPECT_NEAR(bbbDrainBytes(cfg, 32), 64.0 * 1024, 8.0 * 1024);
+    // eADR: ~42 MB of dirty cache on a 32-core server.
+    const double mb = eadrDrainBytes(cfg, 32) / (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 42.0, 6.0);
+}
+
+TEST(CostModel, DrainOrderingAsapSmallest)
+{
+    SimConfig cfg;
+    EXPECT_LT(adrDrainBytes(cfg), bbbDrainBytes(cfg, 32));
+    EXPECT_LT(bbbDrainBytes(cfg, 32), eadrDrainBytes(cfg, 32));
+}
+
+} // namespace
+} // namespace asap

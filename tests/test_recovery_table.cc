@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Unit tests for the Recovery Table: the full Table I decision
+ * matrix, the Figure 5 write-collision scenario, NACK back-pressure,
+ * commit processing and crash rewind.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recovery_table.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+namespace
+{
+
+struct RtFixture : public ::testing::Test
+{
+    StatSet stats;
+    RecoveryTable rt{0, 8, stats};
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> writes;
+
+    RtFixture() { setLogQuiet(true); }
+
+    WriteOutFn
+    sink()
+    {
+        return [this](std::uint64_t line, std::uint64_t value) {
+            writes.emplace_back(line, value);
+        };
+    }
+
+    static FlushPacket
+    safeF(std::uint64_t line, std::uint64_t value, std::uint16_t t,
+          std::uint64_t e)
+    {
+        return FlushPacket{line, value, t, e, false};
+    }
+
+    static FlushPacket
+    earlyF(std::uint64_t line, std::uint64_t value, std::uint16_t t,
+           std::uint64_t e)
+    {
+        return FlushPacket{line, value, t, e, true};
+    }
+};
+
+// Table I row 1 / column 1: safe flush, no undo -> write memory.
+TEST_F(RtFixture, SafeFlushNoUndoWritesThrough)
+{
+    EXPECT_EQ(rt.onFlush(safeF(1, 10, 0, 1), 0),
+              FlushAction::WriteMemory);
+    EXPECT_EQ(rt.occupancy(), 0u);
+}
+
+// Table I row 2 / column 1: early flush, no undo -> create undo and
+// speculatively update memory.
+TEST_F(RtFixture, EarlyFlushCreatesUndo)
+{
+    EXPECT_EQ(rt.onFlush(earlyF(1, 10, 0, 2), /*current=*/5),
+              FlushAction::CreateUndoAndWrite);
+    EXPECT_TRUE(rt.hasUndo(1));
+    EXPECT_EQ(rt.undoValue(1), 5u) << "undo snapshots the old value";
+    EXPECT_EQ(rt.occupancy(), 1u);
+    EXPECT_EQ(stats.get("rt.totalUndo"), 1u);
+}
+
+// Table I row 1 / column 2: safe flush with undo from a *younger*
+// epoch -> the safe value is absorbed into the undo record.
+TEST_F(RtFixture, SafeFlushUpdatesUndoOfYoungerEpoch)
+{
+    rt.onFlush(earlyF(1, 30, 1, 7), 0); // thread 1, epoch 7 speculates
+    EXPECT_EQ(rt.onFlush(safeF(1, 20, 0, 3), 30),
+              FlushAction::SuppressWrite);
+    EXPECT_EQ(rt.undoValue(1), 20u)
+        << "the safe value becomes the rewind target";
+}
+
+// Same-epoch exception: a safe flush whose epoch *created* the undo
+// is newer than the speculative memory value and must write through.
+TEST_F(RtFixture, SameEpochSafeFlushWritesThrough)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 5);
+    EXPECT_EQ(rt.onFlush(safeF(1, 11, 0, 2), 10),
+              FlushAction::WriteMemory);
+    EXPECT_EQ(rt.undoValue(1), 5u) << "undo keeps the pre-epoch value";
+}
+
+// Table I row 2 / column 2: early flush with undo present -> delay.
+TEST_F(RtFixture, EarlyFlushWithUndoCreatesDelay)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 0);
+    EXPECT_EQ(rt.onFlush(earlyF(1, 20, 1, 5), 10),
+              FlushAction::CreateDelay);
+    EXPECT_EQ(rt.delayCount(), 1u);
+    EXPECT_EQ(rt.occupancy(), 2u);
+}
+
+TEST_F(RtFixture, SameEpochDelaysCoalesce)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 0);
+    rt.onFlush(earlyF(1, 20, 1, 5), 10);
+    EXPECT_EQ(rt.onFlush(earlyF(1, 25, 1, 5), 10),
+              FlushAction::CreateDelay);
+    EXPECT_EQ(rt.delayCount(), 1u) << "coalesced in place";
+    EXPECT_EQ(stats.get("rt.delayCoalesced"), 1u);
+}
+
+// Figure 5: two early flushes to A arrive out of order (A=3 then
+// A=2); the delay record preserves the correct final state.
+TEST_F(RtFixture, Figure5WriteCollision)
+{
+    // Initially A=0. Thread 3 (epoch e3) flushes A=3 early first.
+    EXPECT_EQ(rt.onFlush(earlyF(0xA, 3, 3, 30), 0),
+              FlushAction::CreateUndoAndWrite);
+    // Thread 2's A=2 (epoch e2, older in line order) arrives early.
+    EXPECT_EQ(rt.onFlush(earlyF(0xA, 2, 2, 20), 3),
+              FlushAction::CreateDelay);
+    // Crash now: rewind restores A=0 (not the stale A=3 scenario the
+    // naive design would produce).
+    rt.onCrash(sink());
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0], (std::pair<std::uint64_t, std::uint64_t>(
+                             0xA, 0)));
+}
+
+TEST_F(RtFixture, Figure5CollisionCommitOrder)
+{
+    rt.onFlush(earlyF(0xA, 3, 3, 30), 0);
+    rt.onFlush(earlyF(0xA, 2, 2, 20), 3);
+    // Epoch e2 (older) commits first: its delayed value becomes the
+    // safe value inside the undo record.
+    rt.onCommit(2, 20, sink());
+    EXPECT_TRUE(writes.empty());
+    EXPECT_EQ(rt.undoValue(0xA), 2u);
+    // Crash here: memory rewinds to A=2.
+    rt.onCrash(sink());
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0].second, 2u);
+}
+
+TEST_F(RtFixture, CommitDeletesUndoAndReleasesDelays)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 0);  // undo by (0, 2)
+    rt.onFlush(earlyF(1, 20, 1, 5), 10); // delay by (1, 5)
+    rt.onCommit(0, 2, sink());
+    EXPECT_FALSE(rt.hasUndo(1));
+    EXPECT_TRUE(writes.empty()) << "delay of (1,5) not yet released";
+    rt.onCommit(1, 5, sink());
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0], (std::pair<std::uint64_t, std::uint64_t>(
+                             1, 20)));
+    EXPECT_EQ(rt.occupancy(), 0u);
+}
+
+TEST_F(RtFixture, SameEpochUndoThenDelayCommitsNewestValue)
+{
+    // Two same-epoch early flushes to one line: undo then delay.
+    rt.onFlush(earlyF(1, 10, 0, 2), 5);
+    rt.onFlush(earlyF(1, 11, 0, 2), 10);
+    rt.onCommit(0, 2, sink());
+    // The undo dies first, then the delayed (newer) value reaches
+    // memory.
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0].second, 11u);
+}
+
+TEST_F(RtFixture, NackWhenFull)
+{
+    // Fill all 8 slots with undos on distinct lines.
+    for (std::uint64_t l = 0; l < 8; ++l)
+        EXPECT_EQ(rt.onFlush(earlyF(l, l + 100, 0, 2), 0),
+                  FlushAction::CreateUndoAndWrite);
+    EXPECT_EQ(rt.onFlush(earlyF(99, 1, 0, 2), 0), FlushAction::Nack);
+    EXPECT_EQ(stats.get("rt.nacks"), 1u);
+    EXPECT_TRUE(rt.nackPending(99));
+}
+
+TEST_F(RtFixture, NackAlsoForDelayWhenFull)
+{
+    for (std::uint64_t l = 0; l < 7; ++l)
+        rt.onFlush(earlyF(l, l, 0, 2), 0);
+    rt.onFlush(earlyF(0, 50, 1, 9), 0); // delay: table now full
+    EXPECT_EQ(rt.occupancy(), 8u);
+    EXPECT_EQ(rt.onFlush(earlyF(0, 60, 2, 11), 0), FlushAction::Nack);
+}
+
+TEST_F(RtFixture, SafeFlushNeverNacked)
+{
+    for (std::uint64_t l = 0; l < 8; ++l)
+        rt.onFlush(earlyF(l, l, 0, 2), 0);
+    EXPECT_EQ(rt.onFlush(safeF(100, 1, 0, 1), 0),
+              FlushAction::WriteMemory);
+}
+
+TEST_F(RtFixture, RetriedSafeFlushClearsNack)
+{
+    for (std::uint64_t l = 0; l < 8; ++l)
+        rt.onFlush(earlyF(l, l, 0, 2), 0);
+    rt.onFlush(earlyF(99, 1, 0, 3), 0); // NACKed
+    EXPECT_TRUE(rt.nackPending(99));
+    rt.onFlush(safeF(99, 1, 0, 3), 0); // retried once safe
+    EXPECT_FALSE(rt.nackPending(99));
+}
+
+TEST_F(RtFixture, MaxOccupancyStat)
+{
+    rt.onFlush(earlyF(1, 1, 0, 2), 0);
+    rt.onFlush(earlyF(2, 2, 0, 2), 0);
+    EXPECT_EQ(stats.get("rt.maxOccupancy"), 2u);
+    rt.onCommit(0, 2, sink());
+    EXPECT_EQ(stats.get("rt.maxOccupancy"), 2u) << "max is sticky";
+}
+
+TEST_F(RtFixture, CrashDiscardsDelays)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 0);
+    rt.onFlush(earlyF(1, 20, 1, 5), 10);
+    rt.onCrash(sink());
+    ASSERT_EQ(writes.size(), 1u) << "only the undo rewinds";
+    EXPECT_EQ(writes[0].second, 0u);
+    EXPECT_EQ(rt.occupancy(), 0u);
+}
+
+TEST_F(RtFixture, CommitOfUnknownEpochIsNoop)
+{
+    rt.onFlush(earlyF(1, 10, 0, 2), 0);
+    rt.onCommit(5, 99, sink());
+    EXPECT_TRUE(rt.hasUndo(1));
+    EXPECT_TRUE(writes.empty());
+}
+
+// Lemma 1.2 executable check: no records for a line => the memory
+// value belongs to a safe/committed epoch. Exercised by: undo
+// lifecycle always ends with deletion on commit or rewind on crash.
+TEST_F(RtFixture, UndoLifecycleLeavesNoResidue)
+{
+    for (int round = 0; round < 50; ++round) {
+        const std::uint64_t line = round % 8;
+        rt.onFlush(earlyF(line, round, 0, round + 1), round);
+        rt.onCommit(0, round + 1, sink());
+    }
+    EXPECT_EQ(rt.occupancy(), 0u);
+}
+
+} // namespace
+} // namespace asap

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Model-based fuzzing of the Recovery Table.
+ *
+ * A miniature persist-path harness drives the RT with thousands of
+ * random—but protocol-valid—action sequences: epochs in a linear
+ * commit order write random lines; flushes are delivered respecting
+ * per-line write order (the persist buffers' guarantee); a flush is
+ * early iff its epoch is not yet safe; NACKed flushes retry once
+ * their epoch is safe; commits happen in order once an epoch's
+ * flushes are all acknowledged. At a random point the power fails.
+ *
+ * Oracle (epoch persistency over a linear epoch order): after the
+ * undo rewind, each line must hold either the last committed write,
+ * or a write of the single *safe* (next-to-commit) epoch, or its
+ * initial value if nothing committed wrote it. Writes from deeper
+ * uncommitted epochs must never survive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recovery_table.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace asap
+{
+namespace
+{
+
+struct MiniWrite
+{
+    std::uint64_t line;
+    std::uint64_t value;
+    std::size_t epoch;      //!< index into the linear epoch order
+    bool delivered = false;
+    bool nacked = false;
+};
+
+class MiniHarness
+{
+  public:
+    MiniHarness(std::uint64_t seed, unsigned rt_entries,
+                unsigned num_epochs, unsigned lines,
+                unsigned writes_per_epoch)
+        : rng(seed), rt(0, rt_entries, stats)
+    {
+        std::uint64_t token = 1;
+        writes.reserve(num_epochs * writes_per_epoch);
+        epochWrites.resize(num_epochs);
+        for (std::size_t e = 0; e < num_epochs; ++e) {
+            const unsigned n =
+                1 + static_cast<unsigned>(rng.below(writes_per_epoch));
+            for (unsigned i = 0; i < n; ++i) {
+                MiniWrite w;
+                w.line = rng.below(lines);
+                w.value = token++;
+                w.epoch = e;
+                lineOrder[w.line].push_back(writes.size());
+                epochWrites[e].push_back(writes.size());
+                writes.push_back(w);
+            }
+        }
+    }
+
+    /** Deliverable: earlier same-line writes all delivered, and a
+     *  NACKed write only once its epoch is safe. */
+    bool
+    eligible(std::size_t wi) const
+    {
+        const MiniWrite &w = writes[wi];
+        if (w.delivered)
+            return false;
+        if (w.nacked && w.epoch != nextCommit)
+            return false;
+        const auto &order = lineOrder.at(w.line);
+        for (std::size_t oi : order) {
+            if (oi == wi)
+                break;
+            if (!writes[oi].delivered)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    deliver(std::size_t wi)
+    {
+        MiniWrite &w = writes[wi];
+        const bool early = w.epoch > nextCommit;
+        FlushPacket pkt{w.line, w.value, 0,
+                        static_cast<std::uint64_t>(w.epoch + 1),
+                        early};
+        const std::uint64_t cur =
+            mem.count(w.line) ? mem[w.line] : 0;
+        switch (rt.onFlush(pkt, cur)) {
+          case FlushAction::WriteMemory:
+          case FlushAction::CreateUndoAndWrite:
+            mem[w.line] = w.value;
+            w.delivered = true;
+            break;
+          case FlushAction::SuppressWrite:
+          case FlushAction::CreateDelay:
+            w.delivered = true;
+            break;
+          case FlushAction::Nack:
+            w.nacked = true;
+            break;
+        }
+    }
+
+    bool
+    canCommit() const
+    {
+        if (nextCommit >= epochWrites.size())
+            return false;
+        for (std::size_t wi : epochWrites[nextCommit]) {
+            if (!writes[wi].delivered)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    commit()
+    {
+        rt.onCommit(0, static_cast<std::uint64_t>(nextCommit + 1),
+                    [this](std::uint64_t line, std::uint64_t value) {
+                        mem[line] = value;
+                    });
+        ++nextCommit;
+    }
+
+    void
+    crash()
+    {
+        rt.onCrash([this](std::uint64_t line, std::uint64_t value) {
+            mem[line] = value;
+        });
+    }
+
+    /** Run random steps, then crash and check the oracle. */
+    ::testing::AssertionResult
+    fuzz(unsigned steps)
+    {
+        for (unsigned s = 0; s < steps; ++s) {
+            if (canCommit() && rng.percent(30)) {
+                commit();
+                continue;
+            }
+            // Pick a random eligible write.
+            std::vector<std::size_t> cands;
+            for (std::size_t wi = 0; wi < writes.size(); ++wi) {
+                if (eligible(wi))
+                    cands.push_back(wi);
+            }
+            if (cands.empty()) {
+                if (canCommit()) {
+                    commit();
+                    continue;
+                }
+                break; // everything delivered and committed
+            }
+            deliver(cands[rng.below(cands.size())]);
+        }
+        crash();
+        return checkOracle();
+    }
+
+  private:
+    ::testing::AssertionResult
+    checkOracle() const
+    {
+        for (const auto &[line, order] : lineOrder) {
+            const std::uint64_t got =
+                mem.count(line) ? mem.at(line) : 0;
+            // Allowed: last committed write, any safe-epoch write,
+            // or 0 when no committed epoch wrote the line.
+            std::vector<std::uint64_t> allowed;
+            std::uint64_t last_committed = 0;
+            for (std::size_t wi : order) {
+                if (writes[wi].epoch < nextCommit)
+                    last_committed = writes[wi].value;
+                else if (writes[wi].epoch == nextCommit)
+                    allowed.push_back(writes[wi].value);
+            }
+            allowed.push_back(last_committed);
+            bool ok = false;
+            for (std::uint64_t v : allowed)
+                ok = ok || v == got;
+            if (!ok) {
+                return ::testing::AssertionFailure()
+                       << "line " << line << " holds " << got
+                       << " (last committed " << last_committed
+                       << ", committed epochs " << nextCommit << ")";
+            }
+        }
+        return ::testing::AssertionSuccess();
+    }
+
+    Rng rng;
+    StatSet stats;
+    RecoveryTable rt;
+    std::vector<MiniWrite> writes;
+    std::vector<std::vector<std::size_t>> epochWrites;
+    std::map<std::uint64_t, std::vector<std::size_t>> lineOrder;
+    std::unordered_map<std::uint64_t, std::uint64_t> mem;
+    std::size_t nextCommit = 0;
+};
+
+class RtFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RtFuzz, RandomScheduleSurvivesCrash)
+{
+    setLogQuiet(true);
+    const unsigned cfg = GetParam();
+    // Vary table size / contention by parameter band.
+    const unsigned rt_entries = 2 + cfg % 7;       // 2..8: tight
+    const unsigned lines = 1 + cfg % 5;            // heavy collisions
+    const unsigned epochs = 6 + cfg % 10;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        MiniHarness h(seed * 7919 + cfg, rt_entries, epochs, lines, 4);
+        EXPECT_TRUE(h.fuzz(40 + cfg)) << "cfg " << cfg << " seed "
+                                      << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, RtFuzz, ::testing::Range(0u, 24u));
+
+TEST(RtFuzzLong, FullDrainMatchesAllCommitted)
+{
+    setLogQuiet(true);
+    // Drive to complete commit: memory must equal the final value of
+    // every line.
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        MiniHarness h(seed, 8, 12, 4, 3);
+        EXPECT_TRUE(h.fuzz(100000)) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace asap

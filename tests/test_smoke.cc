@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end smoke tests: every model runs a synthetic multi-threaded
+ * workload to completion under both persistency models, and ASAP
+ * survives an injected crash with consistent memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/system.hh"
+#include "pm/recorder.hh"
+#include "recovery/checker.hh"
+#include "sim/log.hh"
+#include "workloads/synthetic.hh"
+
+namespace asap
+{
+namespace
+{
+
+TraceSet
+makeTrace(unsigned threads, std::uint64_t seed, unsigned ops = 80)
+{
+    TraceRecorder rec(threads, seed);
+    SyntheticParams p;
+    p.opsPerThread = ops;
+    genSyntheticWorkload(rec, p);
+    return rec.finish();
+}
+
+class SmokeAllModels
+    : public ::testing::TestWithParam<
+          std::tuple<ModelKind, PersistencyModel>>
+{
+};
+
+TEST_P(SmokeAllModels, RunsToCompletion)
+{
+    setLogQuiet(true);
+    auto [kind, pmodel] = GetParam();
+    SimConfig cfg;
+    cfg.model = kind;
+    cfg.persistency = pmodel;
+    cfg.maxRunTicks = 500'000'000;
+    System sys(cfg);
+    sys.loadTrace(makeTrace(cfg.numCores, 7));
+    ASSERT_TRUE(sys.run()) << "model " << toString(kind) << "/"
+                           << toString(pmodel) << " did not finish";
+    EXPECT_GT(sys.runTicks(), 0u);
+    EXPECT_GT(sys.stats().get("core.pmStores"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, SmokeAllModels,
+    ::testing::Combine(
+        ::testing::Values(ModelKind::Baseline, ModelKind::Hops,
+                          ModelKind::Asap, ModelKind::Eadr),
+        ::testing::Values(PersistencyModel::Epoch,
+                          PersistencyModel::Release)));
+
+TEST(SmokeOrdering, AsapFasterThanBaselineSlowerSetups)
+{
+    setLogQuiet(true);
+    Tick ticks[3];
+    const ModelKind kinds[3] = {ModelKind::Baseline, ModelKind::Asap,
+                                ModelKind::Eadr};
+    for (int i = 0; i < 3; ++i) {
+        SimConfig cfg;
+        cfg.model = kinds[i];
+        System sys(cfg);
+        sys.loadTrace(makeTrace(cfg.numCores, 11, 150));
+        ASSERT_TRUE(sys.run());
+        ticks[i] = sys.runTicks();
+    }
+    // The headline ordering of Figure 8.
+    EXPECT_LT(ticks[1], ticks[0]) << "ASAP should beat baseline";
+    EXPECT_LE(ticks[2], ticks[1]) << "eADR should be fastest";
+}
+
+TEST(SmokeCrash, AsapCrashIsConsistent)
+{
+    setLogQuiet(true);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        SimConfig cfg;
+        cfg.model = ModelKind::Asap;
+        cfg.seed = seed;
+        System sys(cfg, /*keep_run_log=*/true);
+        sys.loadTrace(makeTrace(cfg.numCores, seed, 60));
+        sys.crashAt(40'000 * seed);
+        CheckResult r = checkCrashConsistency(
+            sys.runLog(), sys.nvm(), sys.committedUpTo());
+        EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.message;
+    }
+}
+
+} // namespace
+} // namespace asap
