@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sensitivity"
+  "../bench/ablation_sensitivity.pdb"
+  "CMakeFiles/ablation_sensitivity.dir/ablation_sensitivity.cc.o"
+  "CMakeFiles/ablation_sensitivity.dir/ablation_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

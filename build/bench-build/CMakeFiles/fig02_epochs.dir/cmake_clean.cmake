@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_epochs"
+  "../bench/fig02_epochs.pdb"
+  "CMakeFiles/fig02_epochs.dir/fig02_epochs.cc.o"
+  "CMakeFiles/fig02_epochs.dir/fig02_epochs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_pb_stalls.cc" "bench-build/CMakeFiles/fig03_pb_stalls.dir/fig03_pb_stalls.cc.o" "gcc" "bench-build/CMakeFiles/fig03_pb_stalls.dir/fig03_pb_stalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/asap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/asap_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/asap_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/asap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/asap_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/asap_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

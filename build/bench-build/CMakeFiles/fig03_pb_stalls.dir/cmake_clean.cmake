@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_pb_stalls"
+  "../bench/fig03_pb_stalls.pdb"
+  "CMakeFiles/fig03_pb_stalls.dir/fig03_pb_stalls.cc.o"
+  "CMakeFiles/fig03_pb_stalls.dir/fig03_pb_stalls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pb_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_performance"
+  "../bench/fig08_performance.pdb"
+  "CMakeFiles/fig08_performance.dir/fig08_performance.cc.o"
+  "CMakeFiles/fig08_performance.dir/fig08_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_writes"
+  "../bench/fig09_writes.pdb"
+  "CMakeFiles/fig09_writes.dir/fig09_writes.cc.o"
+  "CMakeFiles/fig09_writes.dir/fig09_writes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

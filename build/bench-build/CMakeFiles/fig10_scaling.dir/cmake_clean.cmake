@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_scaling"
+  "../bench/fig10_scaling.pdb"
+  "CMakeFiles/fig10_scaling.dir/fig10_scaling.cc.o"
+  "CMakeFiles/fig10_scaling.dir/fig10_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

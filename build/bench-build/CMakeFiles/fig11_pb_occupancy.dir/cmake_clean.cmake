@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_pb_occupancy"
+  "../bench/fig11_pb_occupancy.pdb"
+  "CMakeFiles/fig11_pb_occupancy.dir/fig11_pb_occupancy.cc.o"
+  "CMakeFiles/fig11_pb_occupancy.dir/fig11_pb_occupancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pb_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

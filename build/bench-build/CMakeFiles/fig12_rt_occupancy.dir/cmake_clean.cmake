@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_rt_occupancy"
+  "../bench/fig12_rt_occupancy.pdb"
+  "CMakeFiles/fig12_rt_occupancy.dir/fig12_rt_occupancy.cc.o"
+  "CMakeFiles/fig12_rt_occupancy.dir/fig12_rt_occupancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rt_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

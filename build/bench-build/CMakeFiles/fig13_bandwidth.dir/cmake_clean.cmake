@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_bandwidth"
+  "../bench/fig13_bandwidth.pdb"
+  "CMakeFiles/fig13_bandwidth.dir/fig13_bandwidth.cc.o"
+  "CMakeFiles/fig13_bandwidth.dir/fig13_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab05_hwcost"
+  "../bench/tab05_hwcost.pdb"
+  "CMakeFiles/tab05_hwcost.dir/tab05_hwcost.cc.o"
+  "CMakeFiles/tab05_hwcost.dir/tab05_hwcost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab05_hwcost.
+# This may be replaced when dependencies are built.

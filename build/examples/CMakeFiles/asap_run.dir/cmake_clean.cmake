@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_run.dir/asap_run.cpp.o"
+  "CMakeFiles/asap_run.dir/asap_run.cpp.o.d"
+  "asap_run"
+  "asap_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("coherence")
+subdirs("cpu")
+subdirs("persist")
+subdirs("core")
+subdirs("models")
+subdirs("pm")
+subdirs("workloads")
+subdirs("recovery")
+subdirs("costmodel")
+subdirs("harness")

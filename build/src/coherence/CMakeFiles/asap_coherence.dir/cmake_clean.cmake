@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_coherence.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/asap_coherence.dir/cache_hierarchy.cc.o.d"
+  "libasap_coherence.a"
+  "libasap_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asap_model.cc" "src/core/CMakeFiles/asap_core.dir/asap_model.cc.o" "gcc" "src/core/CMakeFiles/asap_core.dir/asap_model.cc.o.d"
+  "/root/repo/src/core/recovery_table.cc" "src/core/CMakeFiles/asap_core.dir/recovery_table.cc.o" "gcc" "src/core/CMakeFiles/asap_core.dir/recovery_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/persist/CMakeFiles/asap_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

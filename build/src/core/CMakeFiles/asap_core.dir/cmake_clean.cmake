@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_core.dir/asap_model.cc.o"
+  "CMakeFiles/asap_core.dir/asap_model.cc.o.d"
+  "CMakeFiles/asap_core.dir/recovery_table.cc.o"
+  "CMakeFiles/asap_core.dir/recovery_table.cc.o.d"
+  "libasap_core.a"
+  "libasap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

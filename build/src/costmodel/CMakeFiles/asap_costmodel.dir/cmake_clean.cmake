@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_costmodel.dir/cacti_lite.cc.o"
+  "CMakeFiles/asap_costmodel.dir/cacti_lite.cc.o.d"
+  "libasap_costmodel.a"
+  "libasap_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

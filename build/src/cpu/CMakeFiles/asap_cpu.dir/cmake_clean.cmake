@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_cpu.dir/core.cc.o"
+  "CMakeFiles/asap_cpu.dir/core.cc.o.d"
+  "libasap_cpu.a"
+  "libasap_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

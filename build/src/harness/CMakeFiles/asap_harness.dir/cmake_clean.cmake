@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_harness.dir/runner.cc.o"
+  "CMakeFiles/asap_harness.dir/runner.cc.o.d"
+  "CMakeFiles/asap_harness.dir/system.cc.o"
+  "CMakeFiles/asap_harness.dir/system.cc.o.d"
+  "libasap_harness.a"
+  "libasap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/asap_mem.dir/memory_controller.cc.o.d"
+  "libasap_mem.a"
+  "libasap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

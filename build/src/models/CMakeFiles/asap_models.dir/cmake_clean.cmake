@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_models.dir/baseline_model.cc.o"
+  "CMakeFiles/asap_models.dir/baseline_model.cc.o.d"
+  "CMakeFiles/asap_models.dir/hops_model.cc.o"
+  "CMakeFiles/asap_models.dir/hops_model.cc.o.d"
+  "libasap_models.a"
+  "libasap_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

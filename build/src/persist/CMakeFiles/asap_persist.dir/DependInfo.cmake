@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/persist/epoch_table.cc" "src/persist/CMakeFiles/asap_persist.dir/epoch_table.cc.o" "gcc" "src/persist/CMakeFiles/asap_persist.dir/epoch_table.cc.o.d"
+  "/root/repo/src/persist/persist_buffer.cc" "src/persist/CMakeFiles/asap_persist.dir/persist_buffer.cc.o" "gcc" "src/persist/CMakeFiles/asap_persist.dir/persist_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

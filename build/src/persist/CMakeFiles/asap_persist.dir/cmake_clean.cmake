@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_persist.dir/epoch_table.cc.o"
+  "CMakeFiles/asap_persist.dir/epoch_table.cc.o.d"
+  "CMakeFiles/asap_persist.dir/persist_buffer.cc.o"
+  "CMakeFiles/asap_persist.dir/persist_buffer.cc.o.d"
+  "libasap_persist.a"
+  "libasap_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

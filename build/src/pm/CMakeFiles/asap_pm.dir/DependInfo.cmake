@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/recorder.cc" "src/pm/CMakeFiles/asap_pm.dir/recorder.cc.o" "gcc" "src/pm/CMakeFiles/asap_pm.dir/recorder.cc.o.d"
+  "/root/repo/src/pm/trace_io.cc" "src/pm/CMakeFiles/asap_pm.dir/trace_io.cc.o" "gcc" "src/pm/CMakeFiles/asap_pm.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/asap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/asap_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/asap_persist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

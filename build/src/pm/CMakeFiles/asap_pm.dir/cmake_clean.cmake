@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_pm.dir/recorder.cc.o"
+  "CMakeFiles/asap_pm.dir/recorder.cc.o.d"
+  "CMakeFiles/asap_pm.dir/trace_io.cc.o"
+  "CMakeFiles/asap_pm.dir/trace_io.cc.o.d"
+  "libasap_pm.a"
+  "libasap_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

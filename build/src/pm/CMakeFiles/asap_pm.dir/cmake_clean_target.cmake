@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasap_pm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_recovery.dir/checker.cc.o"
+  "CMakeFiles/asap_recovery.dir/checker.cc.o.d"
+  "libasap_recovery.a"
+  "libasap_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_sim.dir/config.cc.o"
+  "CMakeFiles/asap_sim.dir/config.cc.o.d"
+  "CMakeFiles/asap_sim.dir/log.cc.o"
+  "CMakeFiles/asap_sim.dir/log.cc.o.d"
+  "CMakeFiles/asap_sim.dir/stats.cc.o"
+  "CMakeFiles/asap_sim.dir/stats.cc.o.d"
+  "libasap_sim.a"
+  "libasap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

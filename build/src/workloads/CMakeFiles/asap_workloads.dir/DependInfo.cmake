@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/atlas.cc" "src/workloads/CMakeFiles/asap_workloads.dir/atlas.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/atlas.cc.o.d"
+  "/root/repo/src/workloads/cceh.cc" "src/workloads/CMakeFiles/asap_workloads.dir/cceh.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/cceh.cc.o.d"
+  "/root/repo/src/workloads/dash.cc" "src/workloads/CMakeFiles/asap_workloads.dir/dash.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/dash.cc.o.d"
+  "/root/repo/src/workloads/fast_fair.cc" "src/workloads/CMakeFiles/asap_workloads.dir/fast_fair.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/fast_fair.cc.o.d"
+  "/root/repo/src/workloads/part.cc" "src/workloads/CMakeFiles/asap_workloads.dir/part.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/part.cc.o.d"
+  "/root/repo/src/workloads/pclht.cc" "src/workloads/CMakeFiles/asap_workloads.dir/pclht.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/pclht.cc.o.d"
+  "/root/repo/src/workloads/pmasstree.cc" "src/workloads/CMakeFiles/asap_workloads.dir/pmasstree.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/pmasstree.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/asap_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/asap_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/whisper.cc" "src/workloads/CMakeFiles/asap_workloads.dir/whisper.cc.o" "gcc" "src/workloads/CMakeFiles/asap_workloads.dir/whisper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pm/CMakeFiles/asap_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/asap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/asap_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/asap_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_workloads.dir/atlas.cc.o"
+  "CMakeFiles/asap_workloads.dir/atlas.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/cceh.cc.o"
+  "CMakeFiles/asap_workloads.dir/cceh.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/dash.cc.o"
+  "CMakeFiles/asap_workloads.dir/dash.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/fast_fair.cc.o"
+  "CMakeFiles/asap_workloads.dir/fast_fair.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/part.cc.o"
+  "CMakeFiles/asap_workloads.dir/part.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/pclht.cc.o"
+  "CMakeFiles/asap_workloads.dir/pclht.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/pmasstree.cc.o"
+  "CMakeFiles/asap_workloads.dir/pmasstree.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/registry.cc.o"
+  "CMakeFiles/asap_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/asap_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/asap_workloads.dir/whisper.cc.o"
+  "CMakeFiles/asap_workloads.dir/whisper.cc.o.d"
+  "libasap_workloads.a"
+  "libasap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

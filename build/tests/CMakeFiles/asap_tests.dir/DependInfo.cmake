@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_checker.cc" "tests/CMakeFiles/asap_tests.dir/test_checker.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_checker.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/asap_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_core_replay.cc" "tests/CMakeFiles/asap_tests.dir/test_core_replay.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_core_replay.cc.o.d"
+  "/root/repo/tests/test_costmodel.cc" "tests/CMakeFiles/asap_tests.dir/test_costmodel.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_costmodel.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/asap_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/asap_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/asap_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_models.cc" "tests/CMakeFiles/asap_tests.dir/test_models.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_models.cc.o.d"
+  "/root/repo/tests/test_persist.cc" "tests/CMakeFiles/asap_tests.dir/test_persist.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_persist.cc.o.d"
+  "/root/repo/tests/test_pm.cc" "tests/CMakeFiles/asap_tests.dir/test_pm.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_pm.cc.o.d"
+  "/root/repo/tests/test_recovery_table.cc" "tests/CMakeFiles/asap_tests.dir/test_recovery_table.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_recovery_table.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/asap_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_rt_fuzz.cc" "tests/CMakeFiles/asap_tests.dir/test_rt_fuzz.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_rt_fuzz.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/asap_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/asap_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/asap_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/asap_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/asap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/asap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/asap_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/asap_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/asap_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/asap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/asap_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/asap_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/asap_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/asap_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/asap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/asap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
