@@ -16,20 +16,6 @@
 
 using namespace asap;
 
-namespace
-{
-
-RunResult
-runWith(const std::string &w, ModelKind kind, const SimConfig &cfg,
-        const WorkloadParams &p)
-{
-    SimConfig c = cfg;
-    c.model = kind;
-    return runExperiment(w, c, p);
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -39,15 +25,68 @@ main(int argc, char **argv)
         args.workload.empty() ? "p-art" : args.workload;
     const WorkloadParams p = args.params();
 
+    // Every section's jobs go into one deduplicated parallel sweep;
+    // the tables below read results back by index.
+    JobSet set;
+    auto addKind = [&](const std::string &name, ModelKind kind,
+                       SimConfig cfg) {
+        cfg.model = kind;
+        return set.add(name, cfg, p);
+    };
+
+    const unsigned rtSizes[] = {2u, 4u, 8u, 16u, 32u, 64u};
+    std::vector<std::size_t> rtIdx;
+    for (unsigned rt : rtSizes) {
+        SimConfig cfg;
+        cfg.rtEntries = rt;
+        rtIdx.push_back(addKind(w, ModelKind::Asap, cfg));
+    }
+
+    const unsigned pbSizes[] = {8u, 16u, 32u, 64u};
+    std::vector<std::size_t> pbAsap, pbHops;
+    for (unsigned pb : pbSizes) {
+        SimConfig cfg;
+        cfg.pbEntries = pb;
+        pbAsap.push_back(addKind(w, ModelKind::Asap, cfg));
+        pbHops.push_back(addKind(w, ModelKind::Hops, cfg));
+    }
+
+    const unsigned bankCounts[] = {2u, 4u, 8u, 16u, 24u, 32u};
+    std::vector<std::size_t> bwAsap, bwHops;
+    for (unsigned banks : bankCounts) {
+        SimConfig cfg;
+        cfg.nvmBanks = banks;
+        bwAsap.push_back(addKind("bandwidth", ModelKind::Asap, cfg));
+        bwHops.push_back(addKind("bandwidth", ModelKind::Hops, cfg));
+    }
+
+    const unsigned mcCounts[] = {1u, 2u, 4u};
+    std::vector<std::size_t> mcAsap, mcHops;
+    for (unsigned mcs : mcCounts) {
+        SimConfig cfg;
+        cfg.numMCs = mcs;
+        cfg.nvmBanks = 48 / mcs; // fixed aggregate write bandwidth
+        mcAsap.push_back(addKind("bandwidth", ModelKind::Asap, cfg));
+        mcHops.push_back(addKind("bandwidth", ModelKind::Hops, cfg));
+    }
+
+    SimConfig defCfg;
+    const std::size_t hoHops = addKind("handoff", ModelKind::Hops,
+                                       defCfg);
+    const std::size_t hoAsap = addKind("handoff", ModelKind::Asap,
+                                       defCfg);
+    const std::size_t hoEadr = addKind("handoff", ModelKind::Eadr,
+                                       defCfg);
+
+    const SweepResult sr = runJobs(set.jobs(), args.options());
+
     std::printf("=== Ablation: recovery-table entries (ASAP, %s) ===\n",
                 w.c_str());
     std::printf("%8s %10s %10s %10s\n", "rtSize", "cycles",
                 "nacks", "rtMax");
-    for (unsigned rt : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        SimConfig cfg;
-        cfg.rtEntries = rt;
-        RunResult r = runWith(w, ModelKind::Asap, cfg, p);
-        std::printf("%8u %10llu %10llu %10llu\n", rt,
+    for (std::size_t i = 0; i < std::size(rtSizes); ++i) {
+        const RunResult &r = sr.at(rtIdx[i]);
+        std::printf("%8u %10llu %10llu %10llu\n", rtSizes[i],
                     static_cast<unsigned long long>(r.runTicks),
                     static_cast<unsigned long long>(r.nacks),
                     static_cast<unsigned long long>(r.rtMaxOccupancy));
@@ -56,12 +95,10 @@ main(int argc, char **argv)
     std::printf("\n=== Ablation: persist-buffer entries (%s) ===\n",
                 w.c_str());
     std::printf("%8s %12s %12s\n", "pbSize", "ASAP", "HOPS");
-    for (unsigned pb : {8u, 16u, 32u, 64u}) {
-        SimConfig cfg;
-        cfg.pbEntries = pb;
-        RunResult a = runWith(w, ModelKind::Asap, cfg, p);
-        RunResult h = runWith(w, ModelKind::Hops, cfg, p);
-        std::printf("%8u %12llu %12llu\n", pb,
+    for (std::size_t i = 0; i < std::size(pbSizes); ++i) {
+        const RunResult &a = sr.at(pbAsap[i]);
+        const RunResult &h = sr.at(pbHops[i]);
+        std::printf("%8u %12llu %12llu\n", pbSizes[i],
                     static_cast<unsigned long long>(a.runTicks),
                     static_cast<unsigned long long>(h.runTicks));
     }
@@ -70,12 +107,10 @@ main(int argc, char **argv)
                 "(256B burst microbenchmark) ===\n");
     std::printf("%8s %12s %12s %10s\n", "banks", "ASAP", "HOPS",
                 "ASAP/HOPS");
-    for (unsigned banks : {2u, 4u, 8u, 16u, 24u, 32u}) {
-        SimConfig cfg;
-        cfg.nvmBanks = banks;
-        RunResult a = runWith("bandwidth", ModelKind::Asap, cfg, p);
-        RunResult h = runWith("bandwidth", ModelKind::Hops, cfg, p);
-        std::printf("%8u %12llu %12llu %9.2fx\n", banks,
+    for (std::size_t i = 0; i < std::size(bankCounts); ++i) {
+        const RunResult &a = sr.at(bwAsap[i]);
+        const RunResult &h = sr.at(bwHops[i]);
+        std::printf("%8u %12llu %12llu %9.2fx\n", bankCounts[i],
                     static_cast<unsigned long long>(a.runTicks),
                     static_cast<unsigned long long>(h.runTicks),
                     static_cast<double>(h.runTicks) /
@@ -89,13 +124,10 @@ main(int argc, char **argv)
                 "bandwidth) ===\n");
     std::printf("%8s %12s %12s %10s\n", "MCs", "ASAP", "HOPS",
                 "HOPS/ASAP");
-    for (unsigned mcs : {1u, 2u, 4u}) {
-        SimConfig cfg;
-        cfg.numMCs = mcs;
-        cfg.nvmBanks = 48 / mcs; // fixed aggregate write bandwidth
-        RunResult a = runWith("bandwidth", ModelKind::Asap, cfg, p);
-        RunResult h = runWith("bandwidth", ModelKind::Hops, cfg, p);
-        std::printf("%8u %12llu %12llu %9.2fx\n", mcs,
+    for (std::size_t i = 0; i < std::size(mcCounts); ++i) {
+        const RunResult &a = sr.at(mcAsap[i]);
+        const RunResult &h = sr.at(mcHops[i]);
+        std::printf("%8u %12llu %12llu %9.2fx\n", mcCounts[i],
                     static_cast<unsigned long long>(a.runTicks),
                     static_cast<unsigned long long>(h.runTicks),
                     static_cast<double>(h.runTicks) /
@@ -109,10 +141,9 @@ main(int argc, char **argv)
     std::printf("%-20s %12s %12s %10s\n", "mechanism", "cycles",
                 "per-handoff", "vsHOPS");
     {
-        SimConfig cfg;
-        RunResult h = runWith("handoff", ModelKind::Hops, cfg, p);
-        RunResult a = runWith("handoff", ModelKind::Asap, cfg, p);
-        RunResult e = runWith("handoff", ModelKind::Eadr, cfg, p);
+        const RunResult &h = sr.at(hoHops);
+        const RunResult &a = sr.at(hoAsap);
+        const RunResult &e = sr.at(hoEadr);
         const double handoffs = 4.0 * p.opsPerThread;
         std::printf("%-20s %12llu %12.0f %10s\n", "HOPS polling",
                     static_cast<unsigned long long>(h.runTicks),
@@ -128,5 +159,6 @@ main(int argc, char **argv)
     }
     std::printf("(Section IV-E: direct CDR messages avoid the "
                 "polling latency of HOPS's global register)\n");
+    finishSweep(args, sr);
     return 0;
 }

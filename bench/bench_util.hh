@@ -6,6 +6,13 @@
  *   --ops N        high-level operations per thread (default 200)
  *   --seed S       RNG seed
  *   --workload W   restrict to one workload (default: all)
+ *   --jobs N       parallel simulations (default: hardware threads)
+ *   --json PATH    write the sweep's raw results as JSON (.csv: CSV)
+ *
+ * Benches build an ExperimentJob list (JobSet or SweepSpec), run it
+ * through the exp engine, and format tables from the deterministic,
+ * submission-ordered results — so a bench's stdout is byte-identical
+ * whatever --jobs is.
  */
 
 #ifndef ASAP_BENCH_BENCH_UTIL_HH
@@ -18,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/emit.hh"
+#include "exp/engine.hh"
+#include "exp/sweep.hh"
 #include "harness/runner.hh"
 #include "sim/log.hh"
 #include "workloads/registry.hh"
@@ -31,6 +41,8 @@ struct BenchArgs
     unsigned ops = 200;
     std::uint64_t seed = 1;
     std::string workload; //!< empty = all
+    unsigned jobs = 0;    //!< sweep workers; 0 = hardware default
+    std::string jsonPath; //!< empty = no artifact
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -46,10 +58,18 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--workload") &&
                        i + 1 < argc) {
                 a.workload = argv[++i];
+            } else if (!std::strcmp(argv[i], "--jobs") &&
+                       i + 1 < argc) {
+                a.jobs = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 0));
+            } else if (!std::strcmp(argv[i], "--json") &&
+                       i + 1 < argc) {
+                a.jsonPath = argv[++i];
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--ops N] [--seed S] "
-                             "[--workload W]\n", argv[0]);
+                             "[--workload W] [--jobs N] "
+                             "[--json PATH]\n", argv[0]);
                 std::exit(2);
             }
         }
@@ -78,6 +98,14 @@ struct BenchArgs
         p.seed = seed;
         return p;
     }
+
+    RunOptions
+    options() const
+    {
+        RunOptions opt;
+        opt.jobs = jobs;
+        return opt;
+    }
 };
 
 /** Geometric mean of a series (ignores non-positive entries). */
@@ -93,6 +121,36 @@ gmean(const std::vector<double> &xs)
         }
     }
     return n ? std::exp(acc / n) : 0.0;
+}
+
+/** Arithmetic mean of a series (0 if empty). */
+inline double
+amean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return xs.empty() ? 0.0 : acc / static_cast<double>(xs.size());
+}
+
+/**
+ * Shared bench epilogue: write the artifact if --json was given and
+ * report the engine's dedup/cache accounting. The counters are
+ * deterministic (unlike wall-clock, which only goes to stderr), so
+ * stdout stays byte-identical across --jobs settings.
+ */
+inline void
+finishSweep(const BenchArgs &args, const SweepResult &sr)
+{
+    // Report artifact failures directly: benches run with
+    // setLogQuiet(true), which would swallow emitToFile's warn().
+    if (!args.jsonPath.empty() && !emitToFile(args.jsonPath, sr))
+        std::fprintf(stderr, "error: could not write sweep artifact "
+                     "to %s\n", args.jsonPath.c_str());
+    std::printf("[sweep: %zu jobs, %zu simulated, %llu cache hits]\n",
+                sr.jobs.size(), sr.uniqueRuns,
+                static_cast<unsigned long long>(sr.cacheHits));
+    std::fprintf(stderr, "sweep wall-clock: %.2fs\n", sr.wallSeconds);
 }
 
 } // namespace asap

@@ -20,18 +20,25 @@ main(int argc, char **argv)
     const BenchArgs args = BenchArgs::parse(argc, argv);
     const double msTicks = 2.0e6; // 1 ms at 2 GHz
 
+    SweepSpec spec;
+    spec.workloads = args.workloads();
+    spec.models = {{ModelKind::Asap, PersistencyModel::Release}};
+    spec.coreCounts = {4};
+    spec.params = args.params();
+    const SweepResult sr = runSweep(spec, args.options());
+
     std::printf("=== Figure 2: epochs and cross-thread dependencies "
                 "per 1 ms (4 threads, RP) ===\n");
     std::printf("%-12s %12s %12s %14s\n", "workload", "epochs/ms",
                 "crossdep/ms", "ticks");
-    for (const std::string &name : args.workloads()) {
-        RunResult r = runExperiment(name, ModelKind::Asap,
-                                    PersistencyModel::Release, 4,
-                                    args.params());
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const RunResult &r = sr.at(i);
         const double scale = msTicks / static_cast<double>(r.runTicks);
-        std::printf("%-12s %12.0f %12.0f %14llu\n", name.c_str(),
-                    r.epochs * scale, r.crossDeps * scale,
+        std::printf("%-12s %12.0f %12.0f %14llu\n",
+                    sr.jobs[i].workload.c_str(), r.epochs * scale,
+                    r.crossDeps * scale,
                     static_cast<unsigned long long>(r.runTicks));
     }
+    finishSweep(args, sr);
     return 0;
 }

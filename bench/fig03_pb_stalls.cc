@@ -18,24 +18,26 @@ main(int argc, char **argv)
     setLogQuiet(true);
     const BenchArgs args = BenchArgs::parse(argc, argv);
 
+    SweepSpec spec;
+    spec.workloads = args.workloads();
+    spec.models = {{ModelKind::Hops, PersistencyModel::Release}};
+    spec.coreCounts = {4};
+    spec.params = args.params();
+    const SweepResult sr = runSweep(spec, args.options());
+
     std::printf("=== Figure 3: %% persist-buffer blocked cycles "
                 "(HOPS, 4 threads, RP) ===\n");
     std::printf("%-12s %10s\n", "workload", "blocked%");
     std::vector<double> pct;
-    for (const std::string &name : args.workloads()) {
-        RunResult r = runExperiment(name, ModelKind::Hops,
-                                    PersistencyModel::Release, 4,
-                                    args.params());
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const RunResult &r = sr.at(i);
         const double p = 100.0 * static_cast<double>(r.cyclesBlocked) /
                          static_cast<double>(r.totalCoreCycles());
         pct.push_back(p);
-        std::printf("%-12s %9.1f%%\n", name.c_str(), p);
+        std::printf("%-12s %9.1f%%\n", sr.jobs[i].workload.c_str(), p);
     }
-    double avg = 0;
-    for (double p : pct)
-        avg += p;
-    avg /= pct.empty() ? 1 : pct.size();
     std::printf("%-12s %9.1f%%   (paper: ~26%% average)\n", "average",
-                avg);
+                amean(pct));
+    finishSweep(args, sr);
     return 0;
 }

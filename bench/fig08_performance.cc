@@ -33,6 +33,23 @@ main(int argc, char **argv)
         {"eADR/BBB", ModelKind::Eadr, PersistencyModel::Release},
     };
 
+    // One baseline + five model columns per workload; the engine
+    // dedups any repeats and runs everything in parallel.
+    const std::vector<std::string> names = args.workloads();
+    JobSet set;
+    std::vector<std::size_t> baseIdx;
+    std::vector<std::vector<std::size_t>> colIdx(std::size(cols));
+    for (const std::string &name : names) {
+        baseIdx.push_back(set.add(name, ModelKind::Baseline,
+                                  PersistencyModel::Release, 4,
+                                  args.params()));
+        for (std::size_t i = 0; i < std::size(cols); ++i) {
+            colIdx[i].push_back(set.add(name, cols[i].kind, cols[i].pm,
+                                        4, args.params()));
+        }
+    }
+    const SweepResult sr = runJobs(set.jobs(), args.options());
+
     std::printf("=== Figure 8: speedup over baseline "
                 "(4 cores, 2 MCs) ===\n");
     std::printf("%-12s", "workload");
@@ -41,14 +58,11 @@ main(int argc, char **argv)
     std::printf("\n");
 
     std::vector<std::vector<double>> speedups(std::size(cols));
-    for (const std::string &name : args.workloads()) {
-        RunResult base = runExperiment(name, ModelKind::Baseline,
-                                       PersistencyModel::Release, 4,
-                                       args.params());
-        std::printf("%-12s", name.c_str());
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const RunResult &base = sr.at(baseIdx[w]);
+        std::printf("%-12s", names[w].c_str());
         for (std::size_t i = 0; i < std::size(cols); ++i) {
-            RunResult r = runExperiment(name, cols[i].kind,
-                                        cols[i].pm, 4, args.params());
+            const RunResult &r = sr.at(colIdx[i][w]);
             const double s = static_cast<double>(base.runTicks) /
                              static_cast<double>(r.runTicks);
             speedups[i].push_back(s);
@@ -62,5 +76,6 @@ main(int argc, char **argv)
         std::printf(" %9.2f", gmean(speedups[i]));
     std::printf("\n(paper gmean: HOPS_RP ~1.86, ASAP_EP ~2.10, "
                 "ASAP_RP ~2.29, eADR ~2.38 over baseline)\n");
+    finishSweep(args, sr);
     return 0;
 }

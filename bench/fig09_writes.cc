@@ -19,19 +19,25 @@ main(int argc, char **argv)
     setLogQuiet(true);
     const BenchArgs args = BenchArgs::parse(argc, argv);
 
+    SweepSpec spec;
+    spec.workloads = args.workloads();
+    spec.models = {{ModelKind::Hops, PersistencyModel::Release},
+                   {ModelKind::Asap, PersistencyModel::Release}};
+    spec.coreCounts = {4};
+    spec.params = args.params();
+    const SweepResult sr = runSweep(spec, args.options());
+
     std::printf("=== Figure 9: PM writes, ASAP normalised to HOPS "
                 "(RP, 4 cores) ===\n");
     std::printf("%-12s %10s %10s %10s %12s %12s\n", "workload",
                 "hopsWr", "asapWr", "ratio", "suppressed",
                 "readIncr%");
     std::vector<double> ratios, readIncr;
-    for (const std::string &name : args.workloads()) {
-        RunResult h = runExperiment(name, ModelKind::Hops,
-                                    PersistencyModel::Release, 4,
-                                    args.params());
-        RunResult a = runExperiment(name, ModelKind::Asap,
-                                    PersistencyModel::Release, 4,
-                                    args.params());
+    for (const std::string &name : spec.workloads) {
+        const RunResult &h = *sr.find(name, ModelKind::Hops,
+                                      PersistencyModel::Release, 4);
+        const RunResult &a = *sr.find(name, ModelKind::Asap,
+                                      PersistencyModel::Release, 4);
         const double ratio = h.pmWrites
                                  ? static_cast<double>(a.pmWrites) /
                                        static_cast<double>(h.pmWrites)
@@ -52,13 +58,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(a.suppressedWrites),
                     ri);
     }
-    double ri_avg = 0;
-    for (double r : readIncr)
-        ri_avg += r;
-    ri_avg /= readIncr.empty() ? 1 : readIncr.size();
     std::printf("%-12s %21s %10.3f %12s %11.1f%%\n", "gmean", "",
-                gmean(ratios), "", ri_avg);
+                gmean(ratios), "", amean(readIncr));
     std::printf("(paper: ASAP <= HOPS writes for most workloads; PM "
                 "reads +5.3%% on average)\n");
+    finishSweep(args, sr);
     return 0;
 }

@@ -19,7 +19,41 @@ main(int argc, char **argv)
 {
     setLogQuiet(true);
     const BenchArgs args = BenchArgs::parse(argc, argv);
-    const unsigned coreCounts[] = {1, 2, 4, 8};
+    const std::vector<unsigned> coreCounts = {1, 2, 4, 8};
+
+    const std::vector<std::string> names = args.workload.empty()
+        ? std::vector<std::string>{"p-art", "skiplist"}
+        : std::vector<std::string>{args.workload};
+
+    // Everything this figure needs, as one deduplicated parallel
+    // sweep: the headline scalers plus (for the average rows) every
+    // workload, each under HOPS and ASAP at every core count.
+    SweepSpec spec;
+    spec.workloads = names;
+    if (args.workload.empty()) {
+        for (const WorkloadInfo &w : allWorkloads()) {
+            bool dup = false;
+            for (const std::string &n : spec.workloads)
+                dup = dup || n == w.name;
+            if (!dup)
+                spec.workloads.push_back(w.name);
+        }
+    }
+    spec.models = {{ModelKind::Hops, PersistencyModel::Release},
+                   {ModelKind::Asap, PersistencyModel::Release}};
+    spec.coreCounts = coreCounts;
+    spec.params = args.params();
+    const SweepResult sr = runSweep(spec, args.options());
+
+    // Normalised throughput: ops scale with threads, so
+    // throughput = cores / runTicks (ops per thread fixed).
+    auto throughput = [&](const std::string &w, ModelKind m,
+                          unsigned cores) {
+        const RunResult &r =
+            *sr.find(w, m, PersistencyModel::Release, cores);
+        return static_cast<double>(cores) /
+               static_cast<double>(r.runTicks);
+    };
 
     std::printf("=== Figure 10: scalability over cores "
                 "(normalised to HOPS @1 thread) ===\n");
@@ -28,26 +62,11 @@ main(int argc, char **argv)
         std::printf(" %7u", c);
     std::printf("\n");
 
-    // Throughput metric: operations per tick, normalised.
-    auto throughput = [&](const std::string &w, ModelKind m,
-                          unsigned cores) {
-        RunResult r = runExperiment(w, m, PersistencyModel::Release,
-                                    cores, args.params());
-        // Total high-level ops scale with the thread count, so
-        // throughput = cores / runTicks (ops per thread fixed).
-        return static_cast<double>(cores) /
-               static_cast<double>(r.runTicks);
-    };
-
-    std::vector<std::string> names = args.workload.empty()
-        ? std::vector<std::string>{"p-art", "skiplist"}
-        : std::vector<std::string>{args.workload};
-
     std::vector<std::vector<double>> asapSpeed(4), hopsSpeed(4);
     for (const std::string &name : names) {
         const double hops1 = throughput(name, ModelKind::Hops, 1);
         std::printf("%-12s %-6s", name.c_str(), "HOPS");
-        for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
+        for (std::size_t i = 0; i < coreCounts.size(); ++i) {
             const double s =
                 throughput(name, ModelKind::Hops, coreCounts[i]) /
                 hops1;
@@ -55,7 +74,7 @@ main(int argc, char **argv)
             std::printf(" %7.2f", s);
         }
         std::printf("\n%-12s %-6s", "", "ASAP");
-        for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
+        for (std::size_t i = 0; i < coreCounts.size(); ++i) {
             const double s =
                 throughput(name, ModelKind::Asap, coreCounts[i]) /
                 hops1;
@@ -66,38 +85,28 @@ main(int argc, char **argv)
     }
 
     if (args.workload.empty()) {
-        // All-workload average rows (smaller op count keeps this
-        // tractable: 14 workloads x 2 models x 4 core counts).
-        WorkloadParams p = args.params();
+        // All-workload average rows.
         for (const WorkloadInfo &w : allWorkloads()) {
-            RunResult h1 = runExperiment(w.name, ModelKind::Hops,
-                                         PersistencyModel::Release, 1,
-                                         p);
             const double hops1 =
-                1.0 / static_cast<double>(h1.runTicks);
-            for (std::size_t i = 0; i < std::size(coreCounts); ++i) {
-                RunResult h = runExperiment(
-                    w.name, ModelKind::Hops,
-                    PersistencyModel::Release, coreCounts[i], p);
-                RunResult a = runExperiment(
-                    w.name, ModelKind::Asap,
-                    PersistencyModel::Release, coreCounts[i], p);
+                throughput(w.name, ModelKind::Hops, 1);
+            for (std::size_t i = 0; i < coreCounts.size(); ++i) {
                 hopsSpeed[i].push_back(
-                    coreCounts[i] /
-                    static_cast<double>(h.runTicks) / hops1);
+                    throughput(w.name, ModelKind::Hops,
+                               coreCounts[i]) / hops1);
                 asapSpeed[i].push_back(
-                    coreCounts[i] /
-                    static_cast<double>(a.runTicks) / hops1);
+                    throughput(w.name, ModelKind::Asap,
+                               coreCounts[i]) / hops1);
             }
         }
         std::printf("%-12s %-6s", "average", "HOPS");
-        for (std::size_t i = 0; i < std::size(coreCounts); ++i)
+        for (std::size_t i = 0; i < coreCounts.size(); ++i)
             std::printf(" %7.2f", gmean(hopsSpeed[i]));
         std::printf("\n%-12s %-6s", "", "ASAP");
-        for (std::size_t i = 0; i < std::size(coreCounts); ++i)
+        for (std::size_t i = 0; i < coreCounts.size(); ++i)
             std::printf(" %7.2f", gmean(asapSpeed[i]));
         std::printf("\n(paper avg: ASAP 1.18/1.79/2.51/2.85 vs HOPS "
                     "1.00/1.36/1.94/2.15)\n");
     }
+    finishSweep(args, sr);
     return 0;
 }

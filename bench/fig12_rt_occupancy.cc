@@ -19,16 +19,21 @@ main(int argc, char **argv)
     setLogQuiet(true);
     const BenchArgs args = BenchArgs::parse(argc, argv);
 
+    SweepSpec spec;
+    spec.workloads = args.workloads();
+    spec.models = {{ModelKind::Asap, PersistencyModel::Release}};
+    spec.coreCounts = {4, 8};
+    spec.params = args.params();
+    const SweepResult sr = runSweep(spec, args.options());
+
     std::printf("=== Figure 12: RT max occupancy (ASAP RP) ===\n");
     std::printf("%-12s %10s %10s %10s %10s\n", "workload", "4thr",
                 "8thr", "nacks4", "nacks8");
-    for (const std::string &name : args.workloads()) {
-        RunResult r4 = runExperiment(name, ModelKind::Asap,
-                                     PersistencyModel::Release, 4,
-                                     args.params());
-        RunResult r8 = runExperiment(name, ModelKind::Asap,
-                                     PersistencyModel::Release, 8,
-                                     args.params());
+    for (const std::string &name : spec.workloads) {
+        const RunResult &r4 = *sr.find(name, ModelKind::Asap,
+                                       PersistencyModel::Release, 4);
+        const RunResult &r8 = *sr.find(name, ModelKind::Asap,
+                                       PersistencyModel::Release, 8);
         std::printf("%-12s %10llu %10llu %10llu %10llu\n",
                     name.c_str(),
                     static_cast<unsigned long long>(r4.rtMaxOccupancy),
@@ -38,5 +43,6 @@ main(int argc, char **argv)
     }
     std::printf("(paper: little growth from 4 to 8 threads; Nstore "
                 "occasionally fills the RT)\n");
+    finishSweep(args, sr);
     return 0;
 }

@@ -31,32 +31,39 @@ main(int argc, char **argv)
         {"ASAP", ModelKind::Asap},
     };
 
+    // The experiment measures how well each design *utilises* system
+    // write bandwidth, so the media must not be the limit:
+    // interleaving gives Optane up to 5.6x the single-DIMM write
+    // bandwidth (Section III / [38]); model that headroom with more
+    // banks per controller.
+    JobSet set;
+    std::vector<std::size_t> rowIdx;
+    for (const Row &row : rows) {
+        SimConfig cfg;
+        cfg.model = row.kind;
+        cfg.persistency = PersistencyModel::Release;
+        cfg.nvmBanks = 24;
+        rowIdx.push_back(set.add("bandwidth", cfg, args.params()));
+    }
+    const SweepResult sr = runJobs(set.jobs(), args.options());
+
     std::printf("=== Figure 13: bandwidth utilisation "
                 "(256B ofence-ordered bursts across 2 MCs) ===\n");
     std::printf("%-10s %12s %12s %10s\n", "model", "ticks", "GB/s",
                 "vsHOPS");
     const double bytes = 4.0 * 256.0 * args.ops; // threads x burst
     double hopsBw = 0;
-    for (const Row &row : rows) {
-        // The experiment measures how well each design *utilises*
-        // system write bandwidth, so the media must not be the limit:
-        // interleaving gives Optane up to 5.6x the single-DIMM write
-        // bandwidth (Section III / [38]); model that headroom with
-        // more banks per controller.
-        SimConfig cfg;
-        cfg.model = row.kind;
-        cfg.persistency = PersistencyModel::Release;
-        cfg.nvmBanks = 24;
-        cfg.seed = args.seed;
-        RunResult r = runExperiment("bandwidth", cfg, args.params());
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+        const RunResult &r = sr.at(rowIdx[i]);
         const double secs = ticksToNs(r.runTicks) * 1e-9;
         const double gbps = bytes / secs / 1e9;
-        if (row.kind == ModelKind::Hops)
+        if (rows[i].kind == ModelKind::Hops)
             hopsBw = gbps;
-        std::printf("%-10s %12llu %12.3f %10.2f\n", row.label,
+        std::printf("%-10s %12llu %12.3f %10.2f\n", rows[i].label,
                     static_cast<unsigned long long>(r.runTicks), gbps,
                     hopsBw > 0 ? gbps / hopsBw : 0.0);
     }
     std::printf("(paper: ASAP ~2x HOPS)\n");
+    finishSweep(args, sr);
     return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI-style check: configure, build, run the test suite, then smoke a
+# small parallel sweep through the exp engine and make sure its output
+# is independent of the worker count.
+#
+# Usage: scripts/check.sh [build_dir]
+#   ASAP_SANITIZE=thread scripts/check.sh build-tsan   # TSan vetting
+set -euo pipefail
+
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+CMAKE_ARGS=()
+if [ -n "${ASAP_SANITIZE:-}" ]; then
+    CMAKE_ARGS+=("-DASAP_SANITIZE=${ASAP_SANITIZE}")
+fi
+
+cmake -B "$BUILD" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+# Parallel-sweep smoke check: a real figure bench, 4 workers, and the
+# determinism guarantee (stdout byte-identical to a serial run).
+# A populated disk cache would change the (truthful) accounting line
+# between the two runs, so keep it out of this comparison.
+unset ASAP_CACHE_DIR
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$BUILD/bench/fig08_performance" --jobs 4 --ops 50 \
+    --json "$TMP/fig08.json" > "$TMP/fig08_par.txt"
+"$BUILD/bench/fig08_performance" --jobs 1 --ops 50 \
+    > "$TMP/fig08_ser.txt"
+diff "$TMP/fig08_par.txt" "$TMP/fig08_ser.txt"
+grep -q '"uniqueRuns"' "$TMP/fig08.json"
+
+echo "check.sh: build, tests and parallel sweep smoke all passed"

@@ -1,0 +1,283 @@
+#include "exp/cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+/** Bump when a change alters simulation results (invalidates disk
+ *  entries written by older code). */
+constexpr const char *kCodeSalt = "asap-sim-v1";
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+describeJob(const ExperimentJob &job)
+{
+    const SimConfig &c = job.cfg;
+    const WorkloadParams &p = job.params;
+    std::ostringstream os;
+    os << "salt=" << kCodeSalt << '\n'
+       << "workload=" << job.workload << '\n'
+       // Every SimConfig knob, in declaration order. A knob missing
+       // here would alias configs that differ only in that knob —
+       // keep in sync with sim/config.hh.
+       << "numCores=" << c.numCores << '\n'
+       << "numMCs=" << c.numMCs << '\n'
+       << "model=" << toString(c.model) << '\n'
+       << "persistency=" << toString(c.persistency) << '\n'
+       << "l1Latency=" << c.l1Latency << '\n'
+       << "l2Latency=" << c.l2Latency << '\n'
+       << "llcLatency=" << c.llcLatency << '\n'
+       << "cacheToCacheLatency=" << c.cacheToCacheLatency << '\n'
+       << "l1Sets=" << c.l1Sets << " l1Ways=" << c.l1Ways << '\n'
+       << "l2Sets=" << c.l2Sets << " l2Ways=" << c.l2Ways << '\n'
+       << "llcSets=" << c.llcSets << " llcWays=" << c.llcWays << '\n'
+       << "dramLatency=" << c.dramLatency << '\n'
+       << "pmReadLatency=" << c.pmReadLatency << '\n'
+       << "pmWriteLatency=" << c.pmWriteLatency << '\n'
+       << "wpqEntries=" << c.wpqEntries << '\n'
+       << "wpqCombineWindow=" << c.wpqCombineWindow << '\n'
+       << "nvmBanks=" << c.nvmBanks << '\n'
+       << "interleaveBytes=" << c.interleaveBytes << '\n'
+       << "xpBufferLines=" << c.xpBufferLines << '\n'
+       << "xpBufferHitLatency=" << c.xpBufferHitLatency << '\n'
+       << "pbEntries=" << c.pbEntries << '\n'
+       << "etEntries=" << c.etEntries << '\n'
+       << "rtEntries=" << c.rtEntries << '\n'
+       << "pbFlushLatency=" << c.pbFlushLatency << '\n'
+       << "pbMaxInflight=" << c.pbMaxInflight << '\n'
+       << "clwbMaxInflight=" << c.clwbMaxInflight << '\n'
+       << "mcMessageLatency=" << c.mcMessageLatency << '\n'
+       << "interCoreLatency=" << c.interCoreLatency << '\n'
+       << "hopsPollPeriod=" << c.hopsPollPeriod << '\n'
+       << "hopsPollCost=" << c.hopsPollCost << '\n'
+       << "eadrDfenceCost=" << c.eadrDfenceCost << '\n'
+       << "coreIssueWidth=" << c.coreIssueWidth << '\n'
+       << "seed=" << c.seed << '\n'
+       << "maxRunTicks=" << c.maxRunTicks << '\n'
+       << "opsPerThread=" << p.opsPerThread << '\n'
+       << "keySpace=" << p.keySpace << '\n'
+       << "valueBytes=" << p.valueBytes << '\n'
+       << "updatePct=" << p.updatePct << '\n'
+       << "paramSeed=" << p.seed << '\n';
+    return os.str();
+}
+
+std::string
+jobKey(const ExperimentJob &job)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "exp-%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(describeJob(job))));
+    return buf;
+}
+
+std::string
+serializeResult(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "workload " << r.workload << '\n'
+       << "model " << toString(r.model) << '\n'
+       << "persistency " << toString(r.persistency) << '\n'
+       << "cores " << r.cores << '\n'
+       << "runTicks " << r.runTicks << '\n'
+       << "pmWrites " << r.pmWrites << '\n'
+       << "pmReads " << r.pmReads << '\n'
+       << "cyclesBlocked " << r.cyclesBlocked << '\n'
+       << "cyclesStalled " << r.cyclesStalled << '\n'
+       << "dfenceStalled " << r.dfenceStalled << '\n'
+       << "sfenceStalled " << r.sfenceStalled << '\n'
+       << "entriesInserted " << r.entriesInserted << '\n'
+       << "epochs " << r.epochs << '\n'
+       << "crossDeps " << r.crossDeps << '\n'
+       << "totSpecWrites " << r.totSpecWrites << '\n'
+       << "totalUndo " << r.totalUndo << '\n'
+       << "totalDelay " << r.totalDelay << '\n'
+       << "nacks " << r.nacks << '\n'
+       << "rtMaxOccupancy " << r.rtMaxOccupancy << '\n'
+       << "pbOccMean " << r.pbOccMean << '\n'
+       << "pbOccP99 " << r.pbOccP99 << '\n'
+       << "wpqCoalesced " << r.wpqCoalesced << '\n'
+       << "suppressedWrites " << r.suppressedWrites << '\n'
+       << "end 1\n";
+    return os.str();
+}
+
+bool
+deserializeResult(const std::string &text, RunResult &out)
+{
+    std::istringstream is(text);
+    std::string field;
+    RunResult r;
+    bool complete = false;
+    while (is >> field) {
+        if (field == "workload") is >> r.workload;
+        else if (field == "model") {
+            std::string v;
+            is >> v;
+            r.model = parseModelKind(v);
+        } else if (field == "persistency") {
+            std::string v;
+            is >> v;
+            r.persistency = parsePersistencyModel(v);
+        }
+        else if (field == "cores") is >> r.cores;
+        else if (field == "runTicks") is >> r.runTicks;
+        else if (field == "pmWrites") is >> r.pmWrites;
+        else if (field == "pmReads") is >> r.pmReads;
+        else if (field == "cyclesBlocked") is >> r.cyclesBlocked;
+        else if (field == "cyclesStalled") is >> r.cyclesStalled;
+        else if (field == "dfenceStalled") is >> r.dfenceStalled;
+        else if (field == "sfenceStalled") is >> r.sfenceStalled;
+        else if (field == "entriesInserted") is >> r.entriesInserted;
+        else if (field == "epochs") is >> r.epochs;
+        else if (field == "crossDeps") is >> r.crossDeps;
+        else if (field == "totSpecWrites") is >> r.totSpecWrites;
+        else if (field == "totalUndo") is >> r.totalUndo;
+        else if (field == "totalDelay") is >> r.totalDelay;
+        else if (field == "nacks") is >> r.nacks;
+        else if (field == "rtMaxOccupancy") is >> r.rtMaxOccupancy;
+        else if (field == "pbOccMean") is >> r.pbOccMean;
+        else if (field == "pbOccP99") is >> r.pbOccP99;
+        else if (field == "wpqCoalesced") is >> r.wpqCoalesced;
+        else if (field == "suppressedWrites") is >> r.suppressedWrites;
+        else if (field == "end") {
+            complete = true;
+            break;
+        } else {
+            return false; // unknown field: written by newer code
+        }
+        if (!is)
+            return false;
+    }
+    if (!complete)
+        return false;
+    out = r;
+    return true;
+}
+
+ResultCache::ResultCache(std::string disk_dir) : dir(std::move(disk_dir))
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            warn("cannot create cache dir ", dir, ": ", ec.message(),
+                 "; disk tier disabled");
+            dir.clear();
+        }
+    }
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    return dir + "/" + key + ".result";
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunResult &out)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = mem.find(key);
+        if (it != mem.end()) {
+            out = it->second;
+            ++counters.memHits;
+            return true;
+        }
+    }
+    if (!dir.empty()) {
+        std::ifstream in(diskPath(key));
+        if (in) {
+            std::ostringstream text;
+            text << in.rdbuf();
+            RunResult r;
+            if (deserializeResult(text.str(), r)) {
+                std::lock_guard<std::mutex> lock(mu);
+                mem.emplace(key, r);
+                ++counters.diskHits;
+                out = r;
+                return true;
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.misses;
+    return false;
+}
+
+void
+ResultCache::insert(const std::string &key, const RunResult &r)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        mem[key] = r;
+    }
+    if (dir.empty())
+        return;
+    // Unique temp name per thread, then atomic rename.
+    std::ostringstream tmp;
+    tmp << diskPath(key) << ".tmp." << std::this_thread::get_id();
+    {
+        std::ofstream out(tmp.str());
+        if (!out)
+            return; // cache is best-effort; simulation result stands
+        out << serializeResult(r);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp.str(), diskPath(key), ec);
+    if (ec)
+        std::filesystem::remove(tmp.str(), ec);
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    mem.clear();
+    counters = CacheStats{};
+}
+
+ResultCache &
+processCache()
+{
+    static ResultCache cache = [] {
+        const char *dir = std::getenv("ASAP_CACHE_DIR");
+        return ResultCache(dir ? dir : "");
+    }();
+    return cache;
+}
+
+} // namespace asap

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Result cache for experiment runs.
+ *
+ * Keys are a stable 64-bit FNV-1a hash over a canonical text
+ * rendering of (workload, every SimConfig knob, every WorkloadParams
+ * knob, code-version salt). Identical jobs therefore share one
+ * simulation per process (in-memory tier) and — when a disk directory
+ * is configured — across processes (on-disk tier), so re-running an
+ * unchanged sweep is instant.
+ *
+ * Bump kCodeSalt in cache.cc whenever a change alters simulation
+ * results; stale disk entries then miss instead of lying.
+ */
+
+#ifndef ASAP_EXP_CACHE_HH
+#define ASAP_EXP_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exp/sweep.hh"
+#include "harness/runner.hh"
+
+namespace asap
+{
+
+/** Canonical text rendering of a job (hash input; also debuggable). */
+std::string describeJob(const ExperimentJob &job);
+
+/** Stable cache key ("exp-" + 16 hex digits) for a job. */
+std::string jobKey(const ExperimentJob &job);
+
+/** Serialize a RunResult as "field value" lines. */
+std::string serializeResult(const RunResult &r);
+
+/**
+ * Parse serializeResult() output.
+ * @return false if the text is truncated or malformed
+ */
+bool deserializeResult(const std::string &text, RunResult &out);
+
+/** Hit/miss counters, snapshot via ResultCache::stats(). */
+struct CacheStats
+{
+    std::uint64_t memHits = 0;  //!< served from the in-process map
+    std::uint64_t diskHits = 0; //!< loaded from the disk tier
+    std::uint64_t misses = 0;   //!< had to simulate
+
+    std::uint64_t hits() const { return memHits + diskHits; }
+};
+
+/**
+ * Two-tier (memory, optional disk) result cache. Thread-safe; the
+ * disk tier uses write-to-temp + rename so concurrent processes never
+ * observe partial entries.
+ */
+class ResultCache
+{
+  public:
+    /** @param disk_dir on-disk tier directory; empty disables it */
+    explicit ResultCache(std::string disk_dir = "");
+
+    /**
+     * Look @p key up (memory first, then disk; disk hits are
+     * promoted to memory). Counts a hit or miss.
+     * @return true and fills @p out on a hit
+     */
+    bool lookup(const std::string &key, RunResult &out);
+
+    /** Store a freshly simulated result in both tiers. */
+    void insert(const std::string &key, const RunResult &r);
+
+    /** Counter snapshot. */
+    CacheStats stats() const;
+
+    /** Drop the in-memory tier and reset counters (tests). */
+    void clear();
+
+    const std::string &diskDir() const { return dir; }
+
+  private:
+    std::string diskPath(const std::string &key) const;
+
+    mutable std::mutex mu;
+    std::unordered_map<std::string, RunResult> mem;
+    std::string dir;
+    CacheStats counters;
+};
+
+/**
+ * The per-process cache every sweep shares by default. Its disk tier
+ * is enabled by the ASAP_CACHE_DIR environment variable (read once).
+ */
+ResultCache &processCache();
+
+} // namespace asap
+
+#endif // ASAP_EXP_CACHE_HH

@@ -1,0 +1,148 @@
+#include "exp/emit.hh"
+
+#include <fstream>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Field list shared by the JSON and CSV emitters. */
+struct Field
+{
+    const char *name;
+    double (*get)(const RunResult &);
+    bool integral;
+};
+
+constexpr Field kFields[] = {
+    {"runTicks", [](const RunResult &r) { return double(r.runTicks); },
+     true},
+    {"pmWrites", [](const RunResult &r) { return double(r.pmWrites); },
+     true},
+    {"pmReads", [](const RunResult &r) { return double(r.pmReads); },
+     true},
+    {"cyclesBlocked",
+     [](const RunResult &r) { return double(r.cyclesBlocked); }, true},
+    {"cyclesStalled",
+     [](const RunResult &r) { return double(r.cyclesStalled); }, true},
+    {"dfenceStalled",
+     [](const RunResult &r) { return double(r.dfenceStalled); }, true},
+    {"sfenceStalled",
+     [](const RunResult &r) { return double(r.sfenceStalled); }, true},
+    {"entriesInserted",
+     [](const RunResult &r) { return double(r.entriesInserted); }, true},
+    {"epochs", [](const RunResult &r) { return double(r.epochs); },
+     true},
+    {"crossDeps", [](const RunResult &r) { return double(r.crossDeps); },
+     true},
+    {"totSpecWrites",
+     [](const RunResult &r) { return double(r.totSpecWrites); }, true},
+    {"totalUndo", [](const RunResult &r) { return double(r.totalUndo); },
+     true},
+    {"totalDelay",
+     [](const RunResult &r) { return double(r.totalDelay); }, true},
+    {"nacks", [](const RunResult &r) { return double(r.nacks); }, true},
+    {"rtMaxOccupancy",
+     [](const RunResult &r) { return double(r.rtMaxOccupancy); }, true},
+    {"pbOccMean", [](const RunResult &r) { return r.pbOccMean; }, false},
+    {"pbOccP99", [](const RunResult &r) { return double(r.pbOccP99); },
+     true},
+    {"wpqCoalesced",
+     [](const RunResult &r) { return double(r.wpqCoalesced); }, true},
+    {"suppressedWrites",
+     [](const RunResult &r) { return double(r.suppressedWrites); },
+     true},
+};
+
+void
+emitValue(std::ostream &os, const Field &f, const RunResult &r)
+{
+    if (f.integral)
+        os << static_cast<std::uint64_t>(f.get(r));
+    else
+        os << f.get(r);
+}
+
+} // namespace
+
+void
+emitJson(std::ostream &os, const SweepResult &sr)
+{
+    os << "{\n  \"sweep\": {\"jobs\": " << sr.jobs.size()
+       << ", \"uniqueRuns\": " << sr.uniqueRuns
+       << ", \"cacheHits\": " << sr.cacheHits
+       << ", \"diskHits\": " << sr.diskHits
+       << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const ExperimentJob &j = sr.jobs[i];
+        const RunResult &r = sr.results[i];
+        os << "    {\"workload\": \"" << jsonEscape(j.workload)
+           << "\", \"model\": \"" << toString(j.cfg.model)
+           << "\", \"persistency\": \"" << toString(j.cfg.persistency)
+           << "\", \"cores\": " << j.cfg.numCores
+           << ", \"seed\": " << j.params.seed
+           << ", \"opsPerThread\": " << j.params.opsPerThread;
+        for (const Field &f : kFields) {
+            os << ", \"" << f.name << "\": ";
+            emitValue(os, f, r);
+        }
+        os << '}' << (i + 1 < sr.jobs.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
+emitCsv(std::ostream &os, const SweepResult &sr)
+{
+    os << "workload,model,persistency,cores,seed,opsPerThread";
+    for (const Field &f : kFields)
+        os << ',' << f.name;
+    os << '\n';
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const ExperimentJob &j = sr.jobs[i];
+        const RunResult &r = sr.results[i];
+        os << j.workload << ',' << toString(j.cfg.model) << ','
+           << toString(j.cfg.persistency) << ',' << j.cfg.numCores
+           << ',' << j.params.seed << ',' << j.params.opsPerThread;
+        for (const Field &f : kFields) {
+            os << ',';
+            emitValue(os, f, r);
+        }
+        os << '\n';
+    }
+}
+
+bool
+emitToFile(const std::string &path, const SweepResult &sr)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write sweep artifact to ", path);
+        return false;
+    }
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        emitCsv(out, sr);
+    else
+        emitJson(out, sr);
+    return true;
+}
+
+} // namespace asap

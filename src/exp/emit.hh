@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Emitters: render a completed sweep as machine-readable artifacts
+ * (JSON for the bench-trajectory tooling, CSV for spreadsheets).
+ * The human-readable figure tables stay with each bench — they are
+ * presentation, not data.
+ */
+
+#ifndef ASAP_EXP_EMIT_HH
+#define ASAP_EXP_EMIT_HH
+
+#include <ostream>
+#include <string>
+
+#include "exp/engine.hh"
+
+namespace asap
+{
+
+/** Write a sweep as a JSON document (stable field order). */
+void emitJson(std::ostream &os, const SweepResult &sr);
+
+/** Write a sweep as CSV with a header row. */
+void emitCsv(std::ostream &os, const SweepResult &sr);
+
+/**
+ * Write JSON (or CSV if @p path ends in ".csv") to @p path.
+ * @return false if the file cannot be written (warns)
+ */
+bool emitToFile(const std::string &path, const SweepResult &sr);
+
+} // namespace asap
+
+#endif // ASAP_EXP_EMIT_HH

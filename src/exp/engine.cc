@@ -1,0 +1,94 @@
+#include "exp/engine.hh"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "exp/pool.hh"
+
+namespace asap
+{
+
+const RunResult *
+SweepResult::find(const std::string &workload, ModelKind model,
+                  PersistencyModel pm, unsigned cores) const
+{
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const ExperimentJob &j = jobs[i];
+        if (j.workload == workload && j.cfg.model == model &&
+            j.cfg.persistency == pm && j.cfg.numCores == cores) {
+            return &results[i];
+        }
+    }
+    return nullptr;
+}
+
+SweepResult
+runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepResult sr;
+    sr.jobs = std::move(jobs);
+    sr.results.resize(sr.jobs.size());
+
+    ResultCache &cache = opt.cache ? *opt.cache : processCache();
+    const CacheStats before = cache.stats();
+
+    // Deduplicate: the first job with a given key is its group's
+    // leader and the only one that may simulate; duplicates copy the
+    // leader's result afterwards.
+    std::vector<std::string> keys(sr.jobs.size());
+    std::unordered_map<std::string, std::size_t> leaderOf;
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        keys[i] = jobKey(sr.jobs[i]);
+        if (leaderOf.emplace(keys[i], i).second)
+            leaders.push_back(i);
+    }
+
+    // Serve leaders from the cache where possible; simulate the rest
+    // on the pool. Each worker writes only its own results slot, so
+    // assembly is deterministic regardless of completion order.
+    std::vector<std::size_t> toRun;
+    for (std::size_t i : leaders) {
+        if (!cache.lookup(keys[i], sr.results[i]))
+            toRun.push_back(i);
+    }
+    if (!toRun.empty()) {
+        ThreadPool pool(opt.jobs);
+        for (std::size_t i : toRun) {
+            pool.submit([&sr, &cache, &keys, i] {
+                const ExperimentJob &job = sr.jobs[i];
+                RunResult r =
+                    runExperiment(job.workload, job.cfg, job.params);
+                cache.insert(keys[i], r);
+                sr.results[i] = std::move(r);
+            });
+        }
+        pool.wait();
+    }
+
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const std::size_t leader = leaderOf[keys[i]];
+        if (leader != i)
+            sr.results[i] = sr.results[leader];
+    }
+
+    sr.uniqueRuns = toRun.size();
+    sr.cacheHits = sr.jobs.size() - sr.uniqueRuns;
+    sr.diskHits = cache.stats().diskHits - before.diskHits;
+    sr.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return sr;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, const RunOptions &opt)
+{
+    return runJobs(spec.expand(), opt);
+}
+
+} // namespace asap

@@ -1,0 +1,61 @@
+#include "exp/sweep.hh"
+
+#include <utility>
+
+namespace asap
+{
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    return workloads.size() * models.size() * coreCounts.size();
+}
+
+std::vector<ExperimentJob>
+SweepSpec::expand() const
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(jobCount());
+    for (const std::string &w : workloads) {
+        for (const ModelPair &m : models) {
+            for (unsigned cores : coreCounts) {
+                ExperimentJob job;
+                job.workload = w;
+                job.cfg = base;
+                job.cfg.model = m.first;
+                job.cfg.persistency = m.second;
+                job.cfg.numCores = cores;
+                job.cfg.seed = params.seed;
+                job.params = params;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return jobs;
+}
+
+std::size_t
+JobSet::add(std::string workload, const SimConfig &cfg,
+            const WorkloadParams &p)
+{
+    ExperimentJob job;
+    job.workload = std::move(workload);
+    job.cfg = cfg;
+    job.cfg.seed = p.seed;
+    job.params = p;
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+std::size_t
+JobSet::add(std::string workload, ModelKind model, PersistencyModel pm,
+            unsigned cores, const WorkloadParams &p)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.persistency = pm;
+    cfg.numCores = cores;
+    return add(std::move(workload), cfg, p);
+}
+
+} // namespace asap

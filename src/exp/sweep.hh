@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sweep specifications: declarative descriptions of experiment
+ * cross-products.
+ *
+ * A SweepSpec names the workloads, (model, persistency) pairs, core
+ * counts and workload parameters of a study; expand() turns it into
+ * the flat vector of ExperimentJobs the engine executes. Benches that
+ * need irregular job lists (per-job config overrides, mixed
+ * workloads) build the vector directly with JobSet.
+ */
+
+#ifndef ASAP_EXP_SWEEP_HH
+#define ASAP_EXP_SWEEP_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workloads/params.hh"
+
+namespace asap
+{
+
+/**
+ * One simulation the engine can run: runExperiment(workload, cfg,
+ * params). cfg carries the model/persistency/core-count selection.
+ */
+struct ExperimentJob
+{
+    std::string workload;
+    SimConfig cfg;
+    WorkloadParams params;
+};
+
+/** A (hardware model, persistency model) column of a figure. */
+using ModelPair = std::pair<ModelKind, PersistencyModel>;
+
+/**
+ * Declarative cross-product sweep: workloads x models x coreCounts.
+ *
+ * expand() emits jobs workload-major (all models and core counts of
+ * the first workload, then the second, ...), models next, core counts
+ * innermost — the iteration order of the paper's figure tables.
+ */
+struct SweepSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<ModelPair> models;
+    std::vector<unsigned> coreCounts = {4};
+    WorkloadParams params;
+    /** Base configuration; model/persistency/numCores/seed are
+     *  overwritten per job during expansion. */
+    SimConfig base;
+
+    /** Number of jobs expand() will produce. */
+    std::size_t jobCount() const;
+
+    /** Expand the cross-product into concrete jobs. */
+    std::vector<ExperimentJob> expand() const;
+};
+
+/**
+ * Builder for irregular job lists. add() returns the job's index so a
+ * bench can map table cells to results after the run.
+ */
+class JobSet
+{
+  public:
+    /** Add a fully specified job. */
+    std::size_t add(std::string workload, const SimConfig &cfg,
+                    const WorkloadParams &p);
+
+    /** Add a job from parts (remaining config fields are defaults). */
+    std::size_t add(std::string workload, ModelKind model,
+                    PersistencyModel pm, unsigned cores,
+                    const WorkloadParams &p);
+
+    const std::vector<ExperimentJob> &jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+
+  private:
+    std::vector<ExperimentJob> jobs_;
+};
+
+} // namespace asap
+
+#endif // ASAP_EXP_SWEEP_HH
