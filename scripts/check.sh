@@ -33,4 +33,15 @@ trap 'rm -rf "$TMP"' EXIT
 diff "$TMP/fig08_par.txt" "$TMP/fig08_ser.txt"
 grep -q '"uniqueRuns"' "$TMP/fig08.json"
 
-echo "check.sh: build, tests and parallel sweep smoke all passed"
+# Quick crash-injection campaign: a handful of power-failure points
+# through the checker. The bench exits non-zero (with a --repro line
+# per failure) if any verdict is inconsistent, and under
+# ASAP_SANITIZE=thread this doubles as a TSan pass over the verdict
+# plumbing (crash jobs fan out across the pool like any sweep).
+"$BUILD/bench/crash_campaign" --jobs 4 --ops 30 --ticks 5 \
+    --workload cceh --json "$TMP/campaign.json" \
+    | tee "$TMP/campaign.txt"
+grep -q ' 0 inconsistent' "$TMP/campaign.txt"
+grep -q '"kind": "crash"' "$TMP/campaign.json"
+
+echo "check.sh: build, tests, parallel sweep and crash campaign all passed"

@@ -83,6 +83,12 @@ describeJob(const ExperimentJob &job)
        << "valueBytes=" << p.valueBytes << '\n'
        << "updatePct=" << p.updatePct << '\n'
        << "paramSeed=" << p.seed << '\n';
+    // Appended only for crash jobs so Run keys (and therefore every
+    // disk cache written before crash jobs existed) stay unchanged.
+    if (job.kind == JobKind::Crash) {
+        os << "kind=" << toString(job.kind) << '\n'
+           << "crashTick=" << job.crashTick << '\n';
+    }
     return os.str();
 }
 
@@ -96,10 +102,12 @@ jobKey(const ExperimentJob &job)
     return buf;
 }
 
-std::string
-serializeResult(const RunResult &r)
+namespace
 {
-    std::ostringstream os;
+
+void
+appendResultFields(std::ostringstream &os, const RunResult &r)
+{
     os << "workload " << r.workload << '\n'
        << "model " << toString(r.model) << '\n'
        << "persistency " << toString(r.persistency) << '\n'
@@ -122,28 +130,74 @@ serializeResult(const RunResult &r)
        << "pbOccMean " << r.pbOccMean << '\n'
        << "pbOccP99 " << r.pbOccP99 << '\n'
        << "wpqCoalesced " << r.wpqCoalesced << '\n'
-       << "suppressedWrites " << r.suppressedWrites << '\n'
-       << "end 1\n";
+       << "suppressedWrites " << r.suppressedWrites << '\n';
+}
+
+} // namespace
+
+std::string
+serializeResult(const RunResult &r)
+{
+    std::ostringstream os;
+    appendResultFields(os, r);
+    os << "end 1\n";
+    return os.str();
+}
+
+std::string
+serializeEntry(const CachedResult &e)
+{
+    if (e.kind == JobKind::Run)
+        return serializeResult(e.run); // byte-compatible with PR 1
+    std::ostringstream os;
+    os << "kind " << toString(e.kind) << '\n';
+    appendResultFields(os, e.run);
+    const CrashVerdict &v = e.verdict;
+    os << "vConsistent " << (v.consistent ? 1 : 0) << '\n'
+       << "vCrashTick " << v.crashTick << '\n'
+       << "vActualTick " << v.actualTick << '\n'
+       << "vStoresLogged " << v.storesLogged << '\n'
+       << "vLinesSurvived " << v.linesSurvived << '\n'
+       << "vUndoReplayed " << v.undoReplayed << '\n'
+       << "vAdrDrainWrites " << v.adrDrainWrites << '\n';
+    os << "vCommitted " << v.committedUpTo.size();
+    for (std::uint64_t c : v.committedUpTo)
+        os << ' ' << c;
+    os << '\n';
+    // The violation message may contain spaces: rest-of-line field,
+    // written last before the end marker.
+    if (!v.message.empty())
+        os << "vMessage " << v.message << '\n';
+    os << "end 1\n";
     return os.str();
 }
 
 bool
-deserializeResult(const std::string &text, RunResult &out)
+deserializeEntry(const std::string &text, CachedResult &out)
 {
     std::istringstream is(text);
     std::string field;
-    RunResult r;
+    CachedResult e;
+    RunResult &r = e.run;
+    CrashVerdict &v = e.verdict;
     bool complete = false;
     while (is >> field) {
-        if (field == "workload") is >> r.workload;
+        if (field == "kind") {
+            std::string k;
+            is >> k;
+            if (k == "run") e.kind = JobKind::Run;
+            else if (k == "crash") e.kind = JobKind::Crash;
+            else return false;
+        }
+        else if (field == "workload") is >> r.workload;
         else if (field == "model") {
-            std::string v;
-            is >> v;
-            r.model = parseModelKind(v);
+            std::string m;
+            is >> m;
+            r.model = parseModelKind(m);
         } else if (field == "persistency") {
-            std::string v;
-            is >> v;
-            r.persistency = parsePersistencyModel(v);
+            std::string m;
+            is >> m;
+            r.persistency = parsePersistencyModel(m);
         }
         else if (field == "cores") is >> r.cores;
         else if (field == "runTicks") is >> r.runTicks;
@@ -165,6 +219,30 @@ deserializeResult(const std::string &text, RunResult &out)
         else if (field == "pbOccP99") is >> r.pbOccP99;
         else if (field == "wpqCoalesced") is >> r.wpqCoalesced;
         else if (field == "suppressedWrites") is >> r.suppressedWrites;
+        else if (field == "vConsistent") {
+            int b = 0;
+            is >> b;
+            v.consistent = b != 0;
+        }
+        else if (field == "vCrashTick") is >> v.crashTick;
+        else if (field == "vActualTick") is >> v.actualTick;
+        else if (field == "vStoresLogged") is >> v.storesLogged;
+        else if (field == "vLinesSurvived") is >> v.linesSurvived;
+        else if (field == "vUndoReplayed") is >> v.undoReplayed;
+        else if (field == "vAdrDrainWrites") is >> v.adrDrainWrites;
+        else if (field == "vCommitted") {
+            std::size_t n = 0;
+            is >> n;
+            if (!is || n > 4096)
+                return false;
+            v.committedUpTo.resize(n);
+            for (std::size_t i = 0; i < n; ++i)
+                is >> v.committedUpTo[i];
+        }
+        else if (field == "vMessage") {
+            is >> std::ws;
+            std::getline(is, v.message);
+        }
         else if (field == "end") {
             complete = true;
             break;
@@ -176,7 +254,17 @@ deserializeResult(const std::string &text, RunResult &out)
     }
     if (!complete)
         return false;
-    out = r;
+    out = std::move(e);
+    return true;
+}
+
+bool
+deserializeResult(const std::string &text, RunResult &out)
+{
+    CachedResult e;
+    if (!deserializeEntry(text, e) || e.kind != JobKind::Run)
+        return false;
+    out = std::move(e.run);
     return true;
 }
 
@@ -200,7 +288,7 @@ ResultCache::diskPath(const std::string &key) const
 }
 
 bool
-ResultCache::lookup(const std::string &key, RunResult &out)
+ResultCache::lookup(const std::string &key, CachedResult &out)
 {
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -216,12 +304,12 @@ ResultCache::lookup(const std::string &key, RunResult &out)
         if (in) {
             std::ostringstream text;
             text << in.rdbuf();
-            RunResult r;
-            if (deserializeResult(text.str(), r)) {
+            CachedResult e;
+            if (deserializeEntry(text.str(), e)) {
                 std::lock_guard<std::mutex> lock(mu);
-                mem.emplace(key, r);
+                mem.emplace(key, e);
                 ++counters.diskHits;
-                out = r;
+                out = e;
                 return true;
             }
         }
@@ -232,11 +320,11 @@ ResultCache::lookup(const std::string &key, RunResult &out)
 }
 
 void
-ResultCache::insert(const std::string &key, const RunResult &r)
+ResultCache::insert(const std::string &key, const CachedResult &e)
 {
     {
         std::lock_guard<std::mutex> lock(mu);
-        mem[key] = r;
+        mem[key] = e;
     }
     if (dir.empty())
         return;
@@ -247,12 +335,31 @@ ResultCache::insert(const std::string &key, const RunResult &r)
         std::ofstream out(tmp.str());
         if (!out)
             return; // cache is best-effort; simulation result stands
-        out << serializeResult(r);
+        out << serializeEntry(e);
     }
     std::error_code ec;
     std::filesystem::rename(tmp.str(), diskPath(key), ec);
     if (ec)
         std::filesystem::remove(tmp.str(), ec);
+}
+
+bool
+ResultCache::lookup(const std::string &key, RunResult &out)
+{
+    CachedResult e;
+    if (!lookup(key, e))
+        return false;
+    out = std::move(e.run);
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, const RunResult &r)
+{
+    CachedResult e;
+    e.kind = JobKind::Run;
+    e.run = r;
+    insert(key, e);
 }
 
 CacheStats

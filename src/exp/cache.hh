@@ -33,6 +33,18 @@ std::string describeJob(const ExperimentJob &job);
 /** Stable cache key ("exp-" + 16 hex digits) for a job. */
 std::string jobKey(const ExperimentJob &job);
 
+/**
+ * Tagged cache payload: what a job produced. Run jobs fill only the
+ * stat bundle; Crash jobs additionally carry the checker verdict of
+ * the injected failure.
+ */
+struct CachedResult
+{
+    JobKind kind = JobKind::Run;
+    RunResult run;        //!< stats (at completion, or at the crash)
+    CrashVerdict verdict; //!< meaningful when kind == Crash
+};
+
 /** Serialize a RunResult as "field value" lines. */
 std::string serializeResult(const RunResult &r);
 
@@ -41,6 +53,16 @@ std::string serializeResult(const RunResult &r);
  * @return false if the text is truncated or malformed
  */
 bool deserializeResult(const std::string &text, RunResult &out);
+
+/** Serialize a tagged entry (Run entries match serializeResult()). */
+std::string serializeEntry(const CachedResult &e);
+
+/**
+ * Parse serializeEntry() output; also accepts plain
+ * serializeResult() text (an entry of kind Run).
+ * @return false if the text is truncated or malformed
+ */
+bool deserializeEntry(const std::string &text, CachedResult &out);
 
 /** Hit/miss counters, snapshot via ResultCache::stats(). */
 struct CacheStats
@@ -68,9 +90,13 @@ class ResultCache
      * promoted to memory). Counts a hit or miss.
      * @return true and fills @p out on a hit
      */
-    bool lookup(const std::string &key, RunResult &out);
+    bool lookup(const std::string &key, CachedResult &out);
 
-    /** Store a freshly simulated result in both tiers. */
+    /** Store a freshly produced entry in both tiers. */
+    void insert(const std::string &key, const CachedResult &e);
+
+    /** Stat-bundle shorthands for Run-kind entries. */
+    bool lookup(const std::string &key, RunResult &out);
     void insert(const std::string &key, const RunResult &r);
 
     /** Counter snapshot. */
@@ -85,7 +111,7 @@ class ResultCache
     std::string diskPath(const std::string &key) const;
 
     mutable std::mutex mu;
-    std::unordered_map<std::string, RunResult> mem;
+    std::unordered_map<std::string, CachedResult> mem;
     std::string dir;
     CacheStats counters;
 };

@@ -1,0 +1,162 @@
+#include "exp/crash_campaign.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace asap
+{
+
+TickStrategy
+parseTickStrategy(const std::string &name)
+{
+    if (name == "stride")
+        return TickStrategy::Stride;
+    if (name == "epoch")
+        return TickStrategy::EpochBiased;
+    if (name == "random")
+        return TickStrategy::Random;
+    fatal("unknown tick strategy '", name,
+          "' (expected stride|epoch|random)");
+    return TickStrategy::Stride; // unreachable
+}
+
+std::string
+toString(TickStrategy strategy)
+{
+    switch (strategy) {
+      case TickStrategy::Stride: return "stride";
+      case TickStrategy::EpochBiased: return "epoch";
+      case TickStrategy::Random: return "random";
+    }
+    return "?";
+}
+
+std::vector<Tick>
+selectCrashTicks(TickStrategy strategy, Tick total_ticks,
+                 std::uint64_t epochs, unsigned cores, unsigned count,
+                 std::uint64_t seed)
+{
+    std::vector<Tick> ticks;
+    ticks.reserve(count);
+    const Tick total = std::max<Tick>(total_ticks, 1);
+    Rng rng(seed);
+
+    switch (strategy) {
+      case TickStrategy::Stride:
+        for (unsigned i = 0; i < count; ++i)
+            ticks.push_back(
+                std::max<Tick>(1, (Tick(i) + 1) * total / count));
+        break;
+      case TickStrategy::Random:
+        for (unsigned i = 0; i < count; ++i)
+            ticks.push_back(1 + rng.below(total));
+        break;
+      case TickStrategy::EpochBiased: {
+        // Per-thread epoch length estimate: `epochs` counts every
+        // thread's epochs, so one thread commits roughly every
+        // total * cores / epochs ticks.
+        const Tick span = std::max<Tick>(
+            1, total * std::max(cores, 1u) / std::max<Tick>(epochs, 1));
+        const Tick boundaries = std::max<Tick>(1, total / span);
+        for (unsigned i = 0; i < count; ++i) {
+            const Tick b = span * rng.range(1, boundaries);
+            // Jitter within ±span/8 of the boundary: the window in
+            // which commit messages, RT cleanup and CDR traffic for
+            // that epoch are in flight.
+            const Tick window = span / 8;
+            Tick t = b + rng.below(2 * window + 1);
+            t = t > window ? t - window : 1;
+            ticks.push_back(std::min(std::max<Tick>(t, 1), total));
+        }
+        break;
+      }
+    }
+    return ticks;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, const RunOptions &opt)
+{
+    // Phase 1: probe every configuration undisturbed — runtime and
+    // epoch count bound the crash-tick selection. Probes are ordinary
+    // Run jobs: parallel, deduplicated, cached (a figure sweep that
+    // already ran this config makes the probe free).
+    struct Config
+    {
+        std::string workload;
+        SimConfig cfg;
+        std::size_t probeIdx;
+    };
+    std::vector<Config> configs;
+    JobSet probes;
+    for (const std::string &w : spec.workloads) {
+        for (const ModelPair &m : spec.models) {
+            for (unsigned cores : spec.coreCounts) {
+                SimConfig cfg = spec.base;
+                cfg.model = m.first;
+                cfg.persistency = m.second;
+                cfg.numCores = cores;
+                const std::size_t idx = probes.add(w, cfg, spec.params);
+                configs.push_back({w, probes.jobs()[idx].cfg, idx});
+            }
+        }
+    }
+    const SweepResult probeSr = runJobs(probes.jobs(), opt);
+
+    // Phase 2: expand crash points per configuration and sweep them.
+    CampaignResult out;
+    JobSet crash;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const Config &conf = configs[c];
+        const RunResult &probe = probeSr.at(conf.probeIdx);
+        const std::vector<Tick> ticks = selectCrashTicks(
+            spec.strategy, probe.runTicks, probe.epochs,
+            conf.cfg.numCores, spec.ticksPerConfig,
+            spec.tickSeed + 0x9e3779b97f4a7c15ULL * (c + 1));
+        for (Tick t : ticks)
+            crash.addCrash(conf.workload, conf.cfg, spec.params, t);
+
+        CampaignRow row;
+        row.workload = conf.workload;
+        row.model = conf.cfg.model;
+        row.pm = conf.cfg.persistency;
+        row.cores = conf.cfg.numCores;
+        row.probeTicks = probe.runTicks;
+        row.probeEpochs = probe.epochs;
+        row.points = ticks.size();
+        out.rows.push_back(std::move(row));
+    }
+    out.sweep = runJobs(crash.jobs(), opt);
+
+    // Phase 3: verdict accounting, in submission (= config) order.
+    out.badJobs = out.sweep.inconsistentJobs();
+    std::size_t next = 0;
+    for (CampaignRow &row : out.rows) {
+        for (std::size_t i = 0; i < row.points; ++i, ++next) {
+            if (out.sweep.verdicts[next].consistent)
+                ++row.consistent;
+        }
+    }
+    return out;
+}
+
+std::string
+reproCommand(const ExperimentJob &job)
+{
+    std::ostringstream os;
+    os << "build/bench/crash_campaign --repro"
+       << " --workload " << job.workload
+       << " --model " << toString(job.cfg.model)
+       << " --pm " << toString(job.cfg.persistency)
+       << " --cores " << job.cfg.numCores
+       << " --ops " << job.params.opsPerThread
+       << " --seed " << job.params.seed
+       << " --crash-tick " << job.crashTick;
+    return os.str();
+}
+
+} // namespace asap

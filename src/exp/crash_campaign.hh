@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Crash-injection campaigns: systematic sweeps of power-failure
+ * points through the experiment engine.
+ *
+ * A campaign fuzzes recovery consistency at scale: for every
+ * (workload, model, core count) configuration it first measures the
+ * undisturbed runtime and epoch count with a probe Run job, derives a
+ * set of crash ticks from a selection strategy, then executes one
+ * Crash job per tick — all through runJobs(), so crash points sweep
+ * in parallel, deduplicate, and cache exactly like figure sweeps
+ * (warm ASAP_CACHE_DIR re-runs are instant). Every inconsistency is
+ * reproducible from a single printed `--repro` command line.
+ */
+
+#ifndef ASAP_EXP_CRASH_CAMPAIGN_HH
+#define ASAP_EXP_CRASH_CAMPAIGN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/sweep.hh"
+
+namespace asap
+{
+
+/** How a campaign picks crash ticks within a config's runtime. */
+enum class TickStrategy
+{
+    Stride,      //!< uniform stride across [1, runTicks]
+    EpochBiased, //!< clustered near estimated epoch boundaries
+    Random,      //!< seeded uniform random
+};
+
+/** Parse "stride|epoch|random" (fatal on anything else). */
+TickStrategy parseTickStrategy(const std::string &name);
+
+/** Printable name for the enum above. */
+std::string toString(TickStrategy strategy);
+
+/**
+ * Pick @p count crash ticks in [1, total_ticks].
+ *
+ * Deterministic in its arguments. EpochBiased estimates per-thread
+ * epoch boundaries as evenly spaced commit points (the run's epoch
+ * count is a global total, so boundary spacing is
+ * total_ticks * cores / epochs) and samples tightly around them —
+ * the moments the Recovery Table is busiest. Duplicate ticks are
+ * possible for tiny runs; the engine dedups the resulting jobs.
+ */
+std::vector<Tick> selectCrashTicks(TickStrategy strategy,
+                                   Tick total_ticks,
+                                   std::uint64_t epochs, unsigned cores,
+                                   unsigned count, std::uint64_t seed);
+
+/** Declarative crash campaign over a configuration cross-product. */
+struct CampaignSpec
+{
+    std::vector<std::string> workloads;
+    std::vector<ModelPair> models;
+    std::vector<unsigned> coreCounts = {4};
+    WorkloadParams params;
+    /** Base configuration; model/persistency/numCores/seed are
+     *  overwritten per job, as in SweepSpec. */
+    SimConfig base;
+
+    TickStrategy strategy = TickStrategy::Stride;
+    unsigned ticksPerConfig = 40; //!< crash points per configuration
+    std::uint64_t tickSeed = 1;   //!< seed for tick selection
+};
+
+/** Per-configuration verdict summary row. */
+struct CampaignRow
+{
+    std::string workload;
+    ModelKind model = ModelKind::Asap;
+    PersistencyModel pm = PersistencyModel::Release;
+    unsigned cores = 0;
+
+    Tick probeTicks = 0;          //!< undisturbed runtime (probe job)
+    std::uint64_t probeEpochs = 0; //!< epochs opened in the probe
+    std::size_t points = 0;       //!< crash points executed
+    std::size_t consistent = 0;   //!< verdicts that passed the checker
+};
+
+/** A completed campaign: the crash sweep plus verdict accounting. */
+struct CampaignResult
+{
+    SweepResult sweep;             //!< the crash jobs, in config order
+    std::vector<CampaignRow> rows; //!< one row per configuration
+    std::vector<std::size_t> badJobs; //!< sweep indices, inconsistent
+
+    std::size_t crashPoints() const { return sweep.jobs.size(); }
+    bool allConsistent() const { return badJobs.empty(); }
+};
+
+/**
+ * Run a campaign: probe sweep, tick selection, crash sweep.
+ * Both sweeps go through the engine with @p opt (parallel + cached).
+ */
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           const RunOptions &opt = {});
+
+/**
+ * One-line `bench/crash_campaign --repro ...` invocation that
+ * replays exactly @p job (workload, model, seed, crash tick) and
+ * reprints its verdict.
+ */
+std::string reproCommand(const ExperimentJob &job);
+
+} // namespace asap
+
+#endif // ASAP_EXP_CRASH_CAMPAIGN_HH

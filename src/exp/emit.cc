@@ -1,5 +1,6 @@
 #include "exp/emit.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "sim/log.hh"
@@ -80,6 +81,20 @@ emitValue(std::ostream &os, const Field &f, const RunResult &r)
         os << f.get(r);
 }
 
+/** RFC-4180 CSV quoting (verdict messages contain commas). */
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 } // namespace
 
 void
@@ -104,6 +119,25 @@ emitJson(std::ostream &os, const SweepResult &sr)
             os << ", \"" << f.name << "\": ";
             emitValue(os, f, r);
         }
+        // Crash jobs append the tagged verdict payload; pure-Run
+        // sweeps keep the PR 1 schema byte-for-byte.
+        if (j.kind == JobKind::Crash) {
+            const CrashVerdict &v = sr.verdicts[i];
+            os << ", \"kind\": \"crash\""
+               << ", \"crashTick\": " << v.crashTick
+               << ", \"actualTick\": " << v.actualTick
+               << ", \"consistent\": "
+               << (v.consistent ? "true" : "false")
+               << ", \"message\": \"" << jsonEscape(v.message) << '"'
+               << ", \"committedUpTo\": [";
+            for (std::size_t t = 0; t < v.committedUpTo.size(); ++t) {
+                os << (t ? ", " : "") << v.committedUpTo[t];
+            }
+            os << "], \"storesLogged\": " << v.storesLogged
+               << ", \"linesSurvived\": " << v.linesSurvived
+               << ", \"undoReplayed\": " << v.undoReplayed
+               << ", \"adrDrainWrites\": " << v.adrDrainWrites;
+        }
         os << '}' << (i + 1 < sr.jobs.size() ? "," : "") << '\n';
     }
     os << "  ]\n}\n";
@@ -112,9 +146,16 @@ emitJson(std::ostream &os, const SweepResult &sr)
 void
 emitCsv(std::ostream &os, const SweepResult &sr)
 {
+    // Verdict columns appear only when the sweep has crash jobs, so
+    // existing Run-only artifacts keep their column set.
+    const bool crash = sr.hasCrashJobs();
     os << "workload,model,persistency,cores,seed,opsPerThread";
     for (const Field &f : kFields)
         os << ',' << f.name;
+    if (crash)
+        os << ",kind,crashTick,actualTick,consistent,committedMax,"
+              "storesLogged,linesSurvived,undoReplayed,adrDrainWrites,"
+              "message";
     os << '\n';
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
         const ExperimentJob &j = sr.jobs[i];
@@ -125,6 +166,17 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         for (const Field &f : kFields) {
             os << ',';
             emitValue(os, f, r);
+        }
+        if (crash) {
+            const CrashVerdict &v = sr.verdicts[i];
+            std::uint64_t committedMax = 0;
+            for (std::uint64_t c : v.committedUpTo)
+                committedMax = std::max(committedMax, c);
+            os << ',' << toString(j.kind) << ',' << v.crashTick << ','
+               << v.actualTick << ',' << (v.consistent ? 1 : 0) << ','
+               << committedMax << ',' << v.storesLogged << ','
+               << v.linesSurvived << ',' << v.undoReplayed << ','
+               << v.adrDrainWrites << ',' << csvQuote(v.message);
         }
         os << '\n';
     }

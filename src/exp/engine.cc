@@ -9,6 +9,27 @@
 namespace asap
 {
 
+bool
+SweepResult::hasCrashJobs() const
+{
+    for (const ExperimentJob &j : jobs) {
+        if (j.kind == JobKind::Crash)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::size_t>
+SweepResult::inconsistentJobs() const
+{
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].kind == JobKind::Crash && !verdicts[i].consistent)
+            bad.push_back(i);
+    }
+    return bad;
+}
+
 const RunResult *
 SweepResult::find(const std::string &workload, ModelKind model,
                   PersistencyModel pm, unsigned cores) const
@@ -31,6 +52,7 @@ runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
     SweepResult sr;
     sr.jobs = std::move(jobs);
     sr.results.resize(sr.jobs.size());
+    sr.verdicts.resize(sr.jobs.size());
 
     ResultCache &cache = opt.cache ? *opt.cache : processCache();
     const CacheStats before = cache.stats();
@@ -52,18 +74,34 @@ runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
     // assembly is deterministic regardless of completion order.
     std::vector<std::size_t> toRun;
     for (std::size_t i : leaders) {
-        if (!cache.lookup(keys[i], sr.results[i]))
+        CachedResult hit;
+        if (cache.lookup(keys[i], hit)) {
+            sr.results[i] = std::move(hit.run);
+            sr.verdicts[i] = std::move(hit.verdict);
+        } else {
             toRun.push_back(i);
+        }
     }
     if (!toRun.empty()) {
         ThreadPool pool(opt.jobs);
         for (std::size_t i : toRun) {
             pool.submit([&sr, &cache, &keys, i] {
                 const ExperimentJob &job = sr.jobs[i];
-                RunResult r =
-                    runExperiment(job.workload, job.cfg, job.params);
-                cache.insert(keys[i], r);
-                sr.results[i] = std::move(r);
+                CachedResult e;
+                e.kind = job.kind;
+                if (job.kind == JobKind::Crash) {
+                    CrashRunResult cr = runCrashExperiment(
+                        job.workload, job.cfg, job.params,
+                        job.crashTick);
+                    e.run = std::move(cr.run);
+                    e.verdict = std::move(cr.verdict);
+                } else {
+                    e.run = runExperiment(job.workload, job.cfg,
+                                          job.params);
+                }
+                cache.insert(keys[i], e);
+                sr.results[i] = std::move(e.run);
+                sr.verdicts[i] = std::move(e.verdict);
             });
         }
         pool.wait();
@@ -71,8 +109,10 @@ runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
 
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
         const std::size_t leader = leaderOf[keys[i]];
-        if (leader != i)
+        if (leader != i) {
             sr.results[i] = sr.results[leader];
+            sr.verdicts[i] = sr.verdicts[leader];
+        }
     }
 
     sr.uniqueRuns = toRun.size();

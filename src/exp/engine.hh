@@ -42,12 +42,22 @@ struct SweepResult
     std::vector<ExperimentJob> jobs;
     std::vector<RunResult> results; //!< results[i] belongs to jobs[i]
 
+    /** verdicts[i] belongs to jobs[i]; default-constructed (and
+     *  meaningless) for Run jobs — check jobs[i].kind. */
+    std::vector<CrashVerdict> verdicts;
+
     std::size_t uniqueRuns = 0;   //!< simulations actually executed
     std::uint64_t cacheHits = 0;  //!< jobs served without simulating
     std::uint64_t diskHits = 0;   //!< subset of cacheHits from disk
     double wallSeconds = 0.0;     //!< sweep wall-clock
 
     const RunResult &at(std::size_t i) const { return results[i]; }
+
+    /** True if any job in the sweep is a crash-injection job. */
+    bool hasCrashJobs() const;
+
+    /** Indices of crash jobs whose verdict is inconsistent. */
+    std::vector<std::size_t> inconsistentJobs() const;
 
     /**
      * First result matching the tuple (nullptr if absent). Handy for

@@ -5,6 +5,12 @@
 namespace asap
 {
 
+std::string
+toString(JobKind kind)
+{
+    return kind == JobKind::Crash ? "crash" : "run";
+}
+
 std::size_t
 SweepSpec::jobCount() const
 {
@@ -56,6 +62,16 @@ JobSet::add(std::string workload, ModelKind model, PersistencyModel pm,
     cfg.persistency = pm;
     cfg.numCores = cores;
     return add(std::move(workload), cfg, p);
+}
+
+std::size_t
+JobSet::addCrash(std::string workload, const SimConfig &cfg,
+                 const WorkloadParams &p, Tick crash_tick)
+{
+    const std::size_t i = add(std::move(workload), cfg, p);
+    jobs_[i].kind = JobKind::Crash;
+    jobs_[i].crashTick = crash_tick;
+    return i;
 }
 
 } // namespace asap

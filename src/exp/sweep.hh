@@ -19,20 +19,39 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/ticks.hh"
 #include "workloads/params.hh"
 
 namespace asap
 {
 
 /**
+ * What a job asks the engine to do, and therefore what its result is:
+ * Run jobs produce a RunResult stat bundle; Crash jobs inject a power
+ * failure at crashTick and produce a recovery-checker verdict (plus
+ * the stats of the truncated run).
+ */
+enum class JobKind
+{
+    Run,    //!< complete simulation, RunResult stats
+    Crash,  //!< crash injection + consistency check, CrashVerdict
+};
+
+/** Printable name ("run"/"crash"). */
+std::string toString(JobKind kind);
+
+/**
  * One simulation the engine can run: runExperiment(workload, cfg,
  * params). cfg carries the model/persistency/core-count selection.
+ * Crash jobs additionally carry the injection tick.
  */
 struct ExperimentJob
 {
     std::string workload;
     SimConfig cfg;
     WorkloadParams params;
+    JobKind kind = JobKind::Run;
+    Tick crashTick = 0; //!< power-failure tick (Crash jobs only)
 };
 
 /** A (hardware model, persistency model) column of a figure. */
@@ -77,6 +96,11 @@ class JobSet
     std::size_t add(std::string workload, ModelKind model,
                     PersistencyModel pm, unsigned cores,
                     const WorkloadParams &p);
+
+    /** Add a crash-injection job: power failure at @p crash_tick,
+     *  result is a recovery-checker verdict. */
+    std::size_t addCrash(std::string workload, const SimConfig &cfg,
+                         const WorkloadParams &p, Tick crash_tick);
 
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "harness/system.hh"
+#include "recovery/checker.hh"
 #include "sim/log.hh"
 #include "workloads/registry.hh"
 #include "workloads/synthetic.hh"
@@ -10,29 +11,34 @@
 namespace asap
 {
 
-RunResult
-runExperiment(const std::string &workload, const SimConfig &cfg,
+namespace
+{
+
+/** Record the trace a job replays (microbenches are not registry
+ *  workloads, so they are special-cased here). */
+TraceSet
+buildJobTrace(const std::string &workload, const SimConfig &cfg,
               const WorkloadParams &p)
 {
-    TraceSet traces;
     if (workload == "bandwidth") {
         TraceRecorder rec(cfg.numCores, p.seed);
         genBandwidthMicrobench(rec, p.opsPerThread);
-        traces = rec.finish();
-    } else if (workload == "handoff") {
+        return rec.finish();
+    }
+    if (workload == "handoff") {
         TraceRecorder rec(cfg.numCores, p.seed);
         genHandoffMicrobench(rec, p.opsPerThread);
-        traces = rec.finish();
-    } else {
-        traces = buildTrace(workload, cfg.numCores, p);
+        return rec.finish();
     }
+    return buildTrace(workload, cfg.numCores, p);
+}
 
-    System sys(cfg);
-    sys.loadTrace(std::move(traces));
-    const bool finished = sys.run();
-    if (!finished)
-        warn("experiment ", workload, " did not finish");
-
+/** Extract the Table VI stat bundle from a finished (or crashed)
+ *  system. */
+RunResult
+extractResult(System &sys, const std::string &workload,
+              const SimConfig &cfg)
+{
     StatSet &s = sys.stats();
     RunResult r;
     r.workload = workload;
@@ -63,6 +69,19 @@ runExperiment(const std::string &workload, const SimConfig &cfg,
     return r;
 }
 
+} // namespace
+
+RunResult
+runExperiment(const std::string &workload, const SimConfig &cfg,
+              const WorkloadParams &p)
+{
+    System sys(cfg);
+    sys.loadTrace(buildJobTrace(workload, cfg, p));
+    if (!sys.run())
+        warn("experiment ", workload, " did not finish");
+    return extractResult(sys, workload, cfg);
+}
+
 RunResult
 runExperiment(const std::string &workload, ModelKind model,
               PersistencyModel pm, unsigned cores,
@@ -74,6 +93,37 @@ runExperiment(const std::string &workload, ModelKind model,
     cfg.numCores = cores;
     cfg.seed = p.seed;
     return runExperiment(workload, cfg, p);
+}
+
+CrashRunResult
+runCrashExperiment(const std::string &workload, const SimConfig &cfg,
+                   const WorkloadParams &p, Tick crash_tick)
+{
+    System sys(cfg, /*keep_run_log=*/true);
+    sys.loadTrace(buildJobTrace(workload, cfg, p));
+    sys.crashAt(crash_tick);
+
+    CrashRunResult out;
+    out.run = extractResult(sys, workload, cfg);
+
+    CrashVerdict &v = out.verdict;
+    v.crashTick = crash_tick;
+    v.actualTick = sys.runTicks();
+    v.committedUpTo = sys.committedUpTo();
+    v.storesLogged = sys.runLog().allStores().size();
+    for (const auto &[line, value] : sys.nvm().all()) {
+        (void)line;
+        if (value != 0)
+            ++v.linesSurvived;
+    }
+    v.undoReplayed = sys.stats().get("mc.undoRewindWrites");
+    v.adrDrainWrites = sys.stats().get("mc.adrDrainWrites");
+
+    const CheckResult check = checkCrashConsistency(
+        sys.runLog(), sys.nvm(), v.committedUpTo);
+    v.consistent = check.ok;
+    v.message = check.message;
+    return out;
 }
 
 } // namespace asap

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "sim/ticks.hh"
 #include "workloads/params.hh"
 
 namespace asap
@@ -59,6 +61,48 @@ RunResult runExperiment(const std::string &workload,
 RunResult runExperiment(const std::string &workload, ModelKind model,
                         PersistencyModel pm, unsigned cores,
                         const WorkloadParams &p);
+
+/**
+ * Outcome of one crash-injection experiment: did the post-crash NVM
+ * state satisfy the Section VI consistency predicate, and against
+ * which committed-epoch frontier was it checked.
+ */
+struct CrashVerdict
+{
+    bool consistent = true;
+    std::string message;  //!< first violation found (empty when ok)
+
+    Tick crashTick = 0;   //!< requested power-failure tick
+    Tick actualTick = 0;  //!< tick the system actually stopped at
+
+    /** Per-thread newest epoch the hardware had committed at the
+     *  crash (the dependency-closed frontier the checker verified). */
+    std::vector<std::uint64_t> committedUpTo;
+
+    std::uint64_t storesLogged = 0;     //!< PM stores the run retired
+    std::uint64_t linesSurvived = 0;    //!< NVM lines holding a token
+    std::uint64_t undoReplayed = 0;     //!< undo records rewound at crash
+    std::uint64_t adrDrainWrites = 0;   //!< WPQ entries ADR drained
+
+    explicit operator bool() const { return consistent; }
+};
+
+/** A crashed run: stats up to the failure, plus the checker verdict. */
+struct CrashRunResult
+{
+    RunResult run;
+    CrashVerdict verdict;
+};
+
+/**
+ * Run @p workload under @p cfg, inject a power failure at
+ * @p crash_tick, drain the ADR domain, rewind speculation and check
+ * the surviving NVM contents against the run log.
+ */
+CrashRunResult runCrashExperiment(const std::string &workload,
+                                  const SimConfig &cfg,
+                                  const WorkloadParams &p,
+                                  Tick crash_tick);
 
 } // namespace asap
 
