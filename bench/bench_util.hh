@@ -8,6 +8,13 @@
  *   --workload W   restrict to one workload (default: all)
  *   --jobs N       parallel simulations (default: hardware threads)
  *   --json PATH    write the sweep's raw results as JSON (.csv: CSV)
+ *   --progress     rate-limited progress/ETA lines on stderr
+ *   --shard i/n    run only shard i of n (requires ASAP_CACHE_DIR);
+ *                  results go to the shared cache + a manifest, and
+ *                  bench/sweep_merge reassembles the sweep afterwards
+ *   --claim        with --shard: also reclaim dead shards' jobs
+ *   --salt S       re-deal the shard partition (must match cluster-wide)
+ *   --lease-ttl S  claim-protocol lease staleness threshold (seconds)
  *
  * Benches build an ExperimentJob list (JobSet or SweepSpec), run it
  * through the exp engine, and format tables from the deterministic,
@@ -18,6 +25,7 @@
 #ifndef ASAP_BENCH_BENCH_UTIL_HH
 #define ASAP_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "dist/executor.hh"
+#include "dist/shard.hh"
 #include "exp/emit.hh"
 #include "exp/engine.hh"
 #include "exp/sweep.hh"
@@ -43,6 +53,12 @@ struct BenchArgs
     std::string workload; //!< empty = all
     unsigned jobs = 0;    //!< sweep workers; 0 = hardware default
     std::string jsonPath; //!< empty = no artifact
+    bool progress = false; //!< stderr progress/ETA lines
+
+    bool sharded = false; //!< --shard given: distributed mode
+    ShardSpec shard;      //!< which slice (with --salt folded in)
+    bool claim = false;   //!< reclaim dead shards' jobs
+    double leaseTtl = 60.0; //!< lease staleness threshold
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -65,11 +81,29 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--json") &&
                        i + 1 < argc) {
                 a.jsonPath = argv[++i];
+            } else if (!std::strcmp(argv[i], "--progress")) {
+                a.progress = true;
+            } else if (!std::strcmp(argv[i], "--shard") &&
+                       i + 1 < argc) {
+                const std::string salt = a.shard.salt; // keep --salt
+                a.shard = parseShardSpec(argv[++i]);
+                a.shard.salt = salt;
+                a.sharded = true;
+            } else if (!std::strcmp(argv[i], "--claim")) {
+                a.claim = true;
+            } else if (!std::strcmp(argv[i], "--salt") &&
+                       i + 1 < argc) {
+                a.shard.salt = argv[++i];
+            } else if (!std::strcmp(argv[i], "--lease-ttl") &&
+                       i + 1 < argc) {
+                a.leaseTtl = std::strtod(argv[++i], nullptr);
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--ops N] [--seed S] "
                              "[--workload W] [--jobs N] "
-                             "[--json PATH]\n", argv[0]);
+                             "[--json PATH] [--progress] "
+                             "[--shard i/n [--claim] [--salt S] "
+                             "[--lease-ttl SEC]]\n", argv[0]);
                 std::exit(2);
             }
         }
@@ -104,6 +138,22 @@ struct BenchArgs
     {
         RunOptions opt;
         opt.jobs = jobs;
+        opt.progress = progress;
+        return opt;
+    }
+
+    DistOptions
+    distOptions() const
+    {
+        DistOptions opt;
+        opt.shard = shard;
+        opt.claim = claim;
+        opt.jobs = jobs;
+        opt.progress = progress;
+        opt.leaseTtlSeconds = leaseTtl;
+        // Keep heartbeats comfortably inside the TTL even when tests
+        // shrink it to force reclaim.
+        opt.heartbeatSeconds = std::min(10.0, leaseTtl / 4.0);
         return opt;
     }
 };
@@ -151,6 +201,33 @@ finishSweep(const BenchArgs &args, const SweepResult &sr)
                 sr.jobs.size(), sr.uniqueRuns,
                 static_cast<unsigned long long>(sr.cacheHits));
     std::fprintf(stderr, "sweep wall-clock: %.2fs\n", sr.wallSeconds);
+}
+
+/**
+ * Distributed-mode hook. When --shard i/n was given, run only this
+ * shard's slice of @p jobs — results land in the shared cache and a
+ * per-shard manifest, not in a table — print the shard summary, and
+ * return true so the bench exits without formatting anything.
+ * Reassemble with bench/sweep_merge once every shard has finished.
+ */
+inline bool
+maybeRunShard(const BenchArgs &args,
+              const std::vector<ExperimentJob> &jobs)
+{
+    if (!args.sharded)
+        return false;
+    const ShardManifest m = runJobsSharded(jobs, args.distOptions());
+    std::printf("[shard %s of sweep %s: %zu jobs, %zu owned, "
+                "%zu simulated, %zu claimed, %zu cached, %zu leased, "
+                "%zu skipped]\n",
+                toString(m.shard).c_str(), m.sweep.c_str(),
+                m.jobs.size(), m.owned, m.simulated, m.claimed,
+                m.cachedHits, m.leasedSkipped, m.otherSkipped);
+    std::printf("[manifest: %s]\n", m.path.c_str());
+    std::printf("[merge: build/bench/sweep_merge --cache-dir %s "
+                "--sweep %s]\n",
+                processCache().diskDir().c_str(), m.sweep.c_str());
+    return true;
 }
 
 } // namespace asap

@@ -42,6 +42,12 @@ struct CampaignArgs
     std::string model = "asap";
     std::string pm = "rp";
     std::uint64_t crashTick = 0;
+
+    bool progress = false; //!< stderr progress/ETA lines
+    bool sharded = false;  //!< --shard: distributed campaign mode
+    ShardSpec shard;
+    bool claim = false;
+    double leaseTtl = 60.0;
 };
 
 [[noreturn]] void
@@ -54,6 +60,8 @@ usage(const char *argv0)
         "stride|epoch|random]\n"
         "          [--tick-seed S] [--cores N] [--models "
         "m1_pm1,m2_pm2,...]\n"
+        "          [--progress] [--shard i/n [--claim] [--salt S] "
+        "[--lease-ttl SEC]]\n"
         "       %s --repro --workload W --model M --pm P --cores N\n"
         "          --ops N --seed S --crash-tick T\n",
         argv0, argv0);
@@ -99,6 +107,19 @@ parseArgs(int argc, char **argv)
             a.pm = need(i), ++i;
         else if (!std::strcmp(arg, "--crash-tick"))
             a.crashTick = std::strtoull(need(i), nullptr, 0), ++i;
+        else if (!std::strcmp(arg, "--progress"))
+            a.progress = true;
+        else if (!std::strcmp(arg, "--shard")) {
+            const std::string salt = a.shard.salt; // keep --salt
+            a.shard = parseShardSpec(need(i)), ++i;
+            a.shard.salt = salt;
+            a.sharded = true;
+        } else if (!std::strcmp(arg, "--claim"))
+            a.claim = true;
+        else if (!std::strcmp(arg, "--salt"))
+            a.shard.salt = need(i), ++i;
+        else if (!std::strcmp(arg, "--lease-ttl"))
+            a.leaseTtl = std::strtod(need(i), nullptr), ++i;
         else
             usage(argv[0]);
     }
@@ -200,9 +221,20 @@ runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
     spec.ticksPerConfig = a.ticks;
     spec.tickSeed = a.tickSeed;
 
-    RunOptions opt;
-    opt.jobs = a.jobs;
-    const CampaignResult cr = runCampaign(spec, opt);
+    if (emitArgs.sharded) {
+        // Distributed campaign: every shard needs every probe result
+        // to derive the identical crash job list, so the probe phase
+        // blocks until all probes are in the shared cache (simulated
+        // at most once cluster-wide via the lease protocol). Only the
+        // crash sweep itself is then sharded.
+        const SweepResult probes = ensureJobs(campaignProbeJobs(spec),
+                                              emitArgs.distOptions());
+        const CampaignExpansion ex = expandCampaign(spec, probes);
+        if (maybeRunShard(emitArgs, ex.crashJobs))
+            return 0;
+    }
+
+    const CampaignResult cr = runCampaign(spec, emitArgs.options());
 
     std::printf("=== Crash-injection campaign: %zu crash points, "
                 "strategy %s ===\n",
@@ -255,5 +287,10 @@ main(int argc, char **argv)
     emitArgs.workload = a.workload;
     emitArgs.jobs = a.jobs;
     emitArgs.jsonPath = a.jsonPath;
+    emitArgs.progress = a.progress;
+    emitArgs.sharded = a.sharded;
+    emitArgs.shard = a.shard;
+    emitArgs.claim = a.claim;
+    emitArgs.leaseTtl = a.leaseTtl;
     return runCampaignMode(a, emitArgs);
 }

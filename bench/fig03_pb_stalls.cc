@@ -23,6 +23,8 @@ main(int argc, char **argv)
     spec.models = {{ModelKind::Hops, PersistencyModel::Release}};
     spec.coreCounts = {4};
     spec.params = args.params();
+    if (maybeRunShard(args, spec.expand()))
+        return 0;
     const SweepResult sr = runSweep(spec, args.options());
 
     std::printf("=== Figure 3: %% persist-buffer blocked cycles "

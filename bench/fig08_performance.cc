@@ -48,6 +48,8 @@ main(int argc, char **argv)
                                         4, args.params()));
         }
     }
+    if (maybeRunShard(args, set.jobs()))
+        return 0;
     const SweepResult sr = runJobs(set.jobs(), args.options());
 
     std::printf("=== Figure 8: speedup over baseline "

@@ -43,6 +43,8 @@ main(int argc, char **argv)
                    {ModelKind::Asap, PersistencyModel::Release}};
     spec.coreCounts = coreCounts;
     spec.params = args.params();
+    if (maybeRunShard(args, spec.expand()))
+        return 0;
     const SweepResult sr = runSweep(spec, args.options());
 
     // Normalised throughput: ops scale with threads, so

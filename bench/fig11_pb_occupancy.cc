@@ -24,6 +24,8 @@ main(int argc, char **argv)
                    {ModelKind::Asap, PersistencyModel::Release}};
     spec.coreCounts = {4};
     spec.params = args.params();
+    if (maybeRunShard(args, spec.expand()))
+        return 0;
     const SweepResult sr = runSweep(spec, args.options());
 
     std::printf("=== Figure 11: PB occupancy avg / p99 "

@@ -45,6 +45,8 @@ main(int argc, char **argv)
         cfg.nvmBanks = 24;
         rowIdx.push_back(set.add("bandwidth", cfg, args.params()));
     }
+    if (maybeRunShard(args, set.jobs()))
+        return 0;
     const SweepResult sr = runJobs(set.jobs(), args.options());
 
     std::printf("=== Figure 13: bandwidth utilisation "

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Merge driver for distributed sweeps: combine per-shard manifests
+ * and the shared result cache into the artifact a single host would
+ * have produced.
+ *
+ * The CSV written here is byte-identical to the `--json out.csv`
+ * artifact of an unsharded run of the same bench — emitCsv carries no
+ * volatile fields — so `diff` is a complete correctness check for a
+ * distributed campaign. Holes (jobs no surviving shard completed) are
+ * reported on stderr with a `--repro` line each and make the exit
+ * status non-zero; re-running any shard with `--claim` fills them.
+ *
+ * usage: sweep_merge [--cache-dir DIR] [--sweep ID] [--out PATH]
+ *                    [MANIFEST...]
+ *
+ * With explicit MANIFEST paths those are merged; otherwise the cache
+ * directory (--cache-dir, or ASAP_CACHE_DIR) is scanned for
+ * `sweep-*.manifest` files, optionally filtered by --sweep.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/merge.hh"
+#include "exp/cache.hh"
+#include "exp/crash_campaign.hh"
+#include "exp/emit.hh"
+#include "sim/log.hh"
+
+using namespace asap;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--cache-dir DIR] [--sweep ID] "
+                 "[--out PATH] [MANIFEST...]\n", argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cacheDir;
+    std::string sweep;
+    std::string outPath;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--cache-dir") && i + 1 < argc)
+            cacheDir = argv[++i];
+        else if (!std::strcmp(argv[i], "--sweep") && i + 1 < argc)
+            sweep = argv[++i];
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            outPath = argv[++i];
+        else if (argv[i][0] == '-')
+            usage(argv[0]);
+        else
+            paths.emplace_back(argv[i]);
+    }
+
+    if (cacheDir.empty()) {
+        const char *env = std::getenv("ASAP_CACHE_DIR");
+        cacheDir = env ? env : "";
+    }
+    if (cacheDir.empty()) {
+        std::fprintf(stderr, "error: no cache directory (--cache-dir "
+                             "or ASAP_CACHE_DIR)\n");
+        return 2;
+    }
+
+    if (paths.empty()) {
+        // Scan the cache directory for manifests of the requested
+        // sweep (or of the only sweep present).
+        const std::string prefix =
+            sweep.empty() ? "sweep-" : "sweep-" + sweep + "-shard";
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(cacheDir, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind(prefix, 0) == 0 &&
+                name.size() > 9 &&
+                name.compare(name.size() - 9, 9, ".manifest") == 0) {
+                paths.push_back(entry.path().string());
+            }
+        }
+        if (ec) {
+            std::fprintf(stderr, "error: cannot scan %s: %s\n",
+                         cacheDir.c_str(), ec.message().c_str());
+            return 2;
+        }
+        std::sort(paths.begin(), paths.end());
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "error: no shard manifests found in %s\n",
+                     cacheDir.c_str());
+        return 2;
+    }
+
+    std::vector<ShardManifest> manifests;
+    for (const std::string &path : paths) {
+        ShardManifest m;
+        if (!loadManifest(path, m))
+            return 2; // loadManifest warned with the reason
+        manifests.push_back(std::move(m));
+    }
+
+    ResultCache cache(cacheDir);
+    const MergeReport report = mergeShards(manifests, cache);
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: %s\n", report.error.c_str());
+        return 2;
+    }
+
+    if (outPath.empty()) {
+        emitCsv(std::cout, report.result);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+        emitCsv(out, report.result);
+    }
+
+    std::fprintf(stderr, "merged sweep %s: %zu jobs from %zu shards (",
+                 report.sweep.c_str(), report.result.jobs.size(),
+                 report.shardsSeen.size());
+    for (std::size_t i = 0; i < report.shardsSeen.size(); ++i) {
+        std::fprintf(stderr, "%s%s", i ? ", " : "",
+                     toString(report.shardsSeen[i]).c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    std::fprintf(stderr, "simulations: %zu total across shards, "
+                         "duplicate simulations: %zu\n",
+                 report.simulatedTotal, report.duplicateSims);
+
+    for (std::size_t i : report.missing) {
+        const ExperimentJob &job = report.result.jobs[i];
+        std::fprintf(stderr, "MISSING job %zu: %s %s_%s %u cores\n", i,
+                     job.workload.c_str(),
+                     toString(job.cfg.model).c_str(),
+                     toString(job.cfg.persistency).c_str(),
+                     job.cfg.numCores);
+        if (job.kind == JobKind::Crash) {
+            std::fprintf(stderr, "  repro: %s\n",
+                         reproCommand(job).c_str());
+        } else {
+            std::fprintf(stderr, "  repro: re-run the bench with "
+                                 "--shard i/n --claim to fill it\n");
+        }
+    }
+    if (!report.missing.empty()) {
+        std::fprintf(stderr, "merge incomplete: %zu of %zu jobs "
+                             "missing\n",
+                     report.missing.size(), report.result.jobs.size());
+        return 1;
+    }
+    return 0;
+}

@@ -44,4 +44,23 @@ grep -q '"uniqueRuns"' "$TMP/fig08.json"
 grep -q ' 0 inconsistent' "$TMP/campaign.txt"
 grep -q '"kind": "crash"' "$TMP/campaign.json"
 
-echo "check.sh: build, tests, parallel sweep and crash campaign all passed"
+# Distributed-sweep smoke check: two shards over a shared cache
+# directory (same host — the claim protocol only needs the shared
+# filesystem), merged back and compared byte-for-byte against the
+# single-host CSV artifact. The merge must also prove that no job was
+# simulated twice. Under ASAP_SANITIZE=thread this exercises the lease
+# heartbeat thread and the sharded engine path.
+"$BUILD/bench/fig02_epochs" --jobs 4 --ops 40 \
+    --json "$TMP/fig02_single.csv" > /dev/null
+export ASAP_CACHE_DIR="$TMP/shard-cache"
+"$BUILD/bench/fig02_epochs" --jobs 4 --ops 40 --shard 0/2 --claim \
+    > "$TMP/shard0.txt"
+"$BUILD/bench/fig02_epochs" --jobs 4 --ops 40 --shard 1/2 --claim \
+    > "$TMP/shard1.txt"
+"$BUILD/bench/sweep_merge" --cache-dir "$ASAP_CACHE_DIR" \
+    --out "$TMP/fig02_merged.csv" 2> "$TMP/merge.txt"
+unset ASAP_CACHE_DIR
+diff "$TMP/fig02_single.csv" "$TMP/fig02_merged.csv"
+grep -q 'duplicate simulations: 0' "$TMP/merge.txt"
+
+echo "check.sh: build, tests, parallel sweep, crash campaign and sharded merge all passed"

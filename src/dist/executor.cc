@@ -1,0 +1,215 @@
+#include "dist/executor.hh"
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "dist/lease.hh"
+#include "exp/cache.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+/** The lease domain lives next to the cache entries it guards. */
+std::string
+leaseDir(const ResultCache &cache)
+{
+    return cache.diskDir() + "/leases";
+}
+
+ResultCache &
+requireSharedCache(const DistOptions &opt, const char *who)
+{
+    ResultCache &cache = opt.cache ? *opt.cache : processCache();
+    if (cache.diskDir().empty()) {
+        fatal(who, " needs a shared result cache: set ASAP_CACHE_DIR "
+                   "to a directory visible to every shard");
+    }
+    return cache;
+}
+
+LeaseConfig
+leaseConfig(const DistOptions &opt, const ResultCache &cache)
+{
+    LeaseConfig lc;
+    lc.dir = leaseDir(cache);
+    lc.ttlSeconds = opt.leaseTtlSeconds;
+    lc.heartbeatSeconds = opt.heartbeatSeconds;
+    return lc;
+}
+
+RunOptions
+engineOptions(const DistOptions &opt, ResultCache &cache)
+{
+    RunOptions ro;
+    ro.jobs = opt.jobs;
+    ro.cache = &cache;
+    ro.progress = opt.progress;
+    return ro;
+}
+
+} // namespace
+
+ShardManifest
+runJobsSharded(const std::vector<ExperimentJob> &jobs,
+               const DistOptions &opt)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    ResultCache &cache = requireSharedCache(opt, "--shard");
+    const CacheStats cacheBefore = cache.stats();
+
+    ShardManifest m;
+    m.shard = opt.shard;
+    m.sweep = sweepId(jobs);
+
+    // Same leader election as the engine: duplicates within the sweep
+    // follow their leader, so sharding happens over distinct keys and
+    // every shard agrees who leads (the list is identical everywhere).
+    std::vector<std::string> keys(jobs.size());
+    std::unordered_map<std::string, std::size_t> leaderOf;
+    std::vector<std::size_t> leaders;
+    m.jobs.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        keys[i] = jobKey(jobs[i]);
+        m.jobs.push_back(toManifestJob(jobs[i], keys[i]));
+        if (leaderOf.emplace(keys[i], i).second)
+            leaders.push_back(i);
+        else
+            m.jobs[i].status = ShardJobStatus::Dup;
+    }
+
+    LeaseManager leases(leaseConfig(opt, cache));
+    std::vector<std::size_t> acquired;
+    for (std::size_t i : leaders) {
+        const bool mine = shardOf(keys[i], opt.shard) == opt.shard.index;
+        if (mine)
+            ++m.owned;
+        CachedResult hit;
+        if (cache.lookup(keys[i], hit)) {
+            m.jobs[i].status = ShardJobStatus::Cached;
+            ++m.cachedHits;
+            continue;
+        }
+        if (!mine && !opt.claim) {
+            m.jobs[i].status = ShardJobStatus::Other;
+            ++m.otherSkipped;
+            continue;
+        }
+        if (leases.tryAcquire(keys[i]) == LeaseManager::Acquire::Busy) {
+            // A live shard is simulating it right now (for our own
+            // jobs that means a claimer reclaimed us after a stall —
+            // losing the race is fine, the result will appear).
+            m.jobs[i].status = ShardJobStatus::Leased;
+            ++m.leasedSkipped;
+            continue;
+        }
+        // Re-check under the lease: the previous holder may have
+        // finished (insert, then release) between our lookup and the
+        // acquire. With the lease held and the cache still empty, no
+        // cooperating shard can be running this job — so the statuses
+        // below are exact simulation claims, which is what lets the
+        // merge driver prove at-most-once execution from manifests.
+        if (cache.lookup(keys[i], hit)) {
+            leases.release(keys[i]);
+            m.jobs[i].status = ShardJobStatus::Cached;
+            ++m.cachedHits;
+            continue;
+        }
+        m.jobs[i].status = mine ? ShardJobStatus::Done
+                                : ShardJobStatus::Claimed;
+        if (!mine)
+            ++m.claimed;
+        acquired.push_back(i);
+    }
+
+    std::vector<ExperimentJob> batch;
+    batch.reserve(acquired.size());
+    for (std::size_t i : acquired)
+        batch.push_back(jobs[i]);
+    const SweepResult sub = runJobs(std::move(batch),
+                                    engineOptions(opt, cache));
+    // Release only after runJobs returns: every result is in the
+    // cache by then, so observers see held -> done, never a gap.
+    for (std::size_t i : acquired)
+        leases.release(keys[i]);
+
+    m.simulated = sub.uniqueRuns;
+    m.traceHits = sub.traceHits;
+    m.diskHits = cache.stats().diskHits - cacheBefore.diskHits;
+    m.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    const std::string dir =
+        opt.manifestDir.empty() ? cache.diskDir() : opt.manifestDir;
+    m.path = manifestPath(dir, m.sweep, m.shard);
+    writeManifest(m.path, m);
+    return m;
+}
+
+SweepResult
+ensureJobs(const std::vector<ExperimentJob> &jobs,
+           const DistOptions &opt)
+{
+    ResultCache &cache = requireSharedCache(opt, "ensureJobs");
+
+    std::vector<std::string> keys(jobs.size());
+    std::unordered_map<std::string, std::size_t> leaderOf;
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        keys[i] = jobKey(jobs[i]);
+        if (leaderOf.emplace(keys[i], i).second)
+            leaders.push_back(i);
+    }
+
+    LeaseManager leases(leaseConfig(opt, cache));
+    std::vector<bool> done(jobs.size(), false);
+    for (;;) {
+        std::vector<ExperimentJob> batch;
+        std::vector<std::string> batchKeys;
+        bool waiting = false;
+        for (std::size_t i : leaders) {
+            if (done[i])
+                continue;
+            CachedResult hit;
+            if (cache.lookup(keys[i], hit)) {
+                done[i] = true;
+                continue;
+            }
+            if (leases.tryAcquire(keys[i]) ==
+                LeaseManager::Acquire::Busy) {
+                waiting = true; // a live holder will produce it
+                continue;
+            }
+            if (cache.lookup(keys[i], hit)) {
+                leases.release(keys[i]);
+                done[i] = true;
+                continue;
+            }
+            batch.push_back(jobs[i]);
+            batchKeys.push_back(keys[i]);
+        }
+        if (!batch.empty()) {
+            runJobs(std::move(batch), engineOptions(opt, cache));
+            for (const std::string &key : batchKeys)
+                leases.release(key);
+            continue; // re-scan: those leaders now cache-hit
+        }
+        if (!waiting)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(opt.pollSeconds));
+    }
+
+    // Everything is cached now; this assembles the ordered result
+    // without simulating (and fills duplicates from their leaders).
+    return runJobs(jobs, engineOptions(opt, cache));
+}
+
+} // namespace asap

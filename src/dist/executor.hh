@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shard-side sweep execution.
+ *
+ * runJobsSharded() is what a bench runs under `--shard i/n`: it takes
+ * the full expanded job list (every shard expands the same list — the
+ * sweep is defined by the bench arguments, not by who runs it),
+ * simulates the slice this shard owns, and leaves behind cache
+ * entries plus a ShardManifest. With `--claim` it additionally picks
+ * up jobs whose owning shard died, using stale-lease reclaim.
+ *
+ * ensureJobs() is the blocking variant for prerequisite phases (e.g.
+ * crash-campaign probes, which every shard needs in full): it returns
+ * only once *all* leader results exist in the shared cache, simulating
+ * whatever it can win leases for and polling for the rest.
+ *
+ * Both require a cache with a disk tier (ASAP_CACHE_DIR) — the shared
+ * directory is the only coordination channel shards have.
+ */
+
+#ifndef ASAP_DIST_EXECUTOR_HH
+#define ASAP_DIST_EXECUTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "dist/manifest.hh"
+#include "dist/shard.hh"
+#include "exp/engine.hh"
+
+namespace asap
+{
+
+/** Knobs for one sharded sweep execution. */
+struct DistOptions
+{
+    ShardSpec shard;           //!< which slice of the sweep is ours
+    bool claim = false;        //!< reclaim dead shards' jobs
+    unsigned jobs = 0;         //!< worker threads (0 = default)
+    bool progress = false;     //!< RunOptions::progress passthrough
+    ResultCache *cache = nullptr; //!< nullptr = processCache()
+
+    double leaseTtlSeconds = 60.0; //!< LeaseConfig::ttlSeconds
+    double heartbeatSeconds = 10.0; //!< LeaseConfig::heartbeatSeconds
+    double pollSeconds = 0.05;  //!< ensureJobs() wait-for-holder period
+
+    /** Where to write the manifest; empty = the cache disk dir. */
+    std::string manifestDir;
+};
+
+/**
+ * Run this shard's slice of @p jobs (plus stale claims when
+ * opt.claim). Results go to the shared cache only — per-job results
+ * are not returned, because no single shard holds them all; merge
+ * with mergeShards()/bench/sweep_merge. The manifest is also written
+ * to disk (see ShardManifest::path).
+ *
+ * Fatals if the cache has no disk tier.
+ */
+ShardManifest runJobsSharded(const std::vector<ExperimentJob> &jobs,
+                             const DistOptions &opt);
+
+/**
+ * Block until every distinct job in @p jobs has a result in the
+ * shared cache — simulating the ones this process wins leases for,
+ * waiting out live holders — then return the assembled SweepResult
+ * (all cache hits by construction). Cluster-wide each job simulates
+ * at most once.
+ *
+ * Fatals if the cache has no disk tier.
+ */
+SweepResult ensureJobs(const std::vector<ExperimentJob> &jobs,
+                       const DistOptions &opt);
+
+} // namespace asap
+
+#endif // ASAP_DIST_EXECUTOR_HH

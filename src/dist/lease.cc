@@ -1,0 +1,168 @@
+#include "dist/lease.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Process-unique suffix for steal-rename temp names. */
+std::string
+uniqueSuffix()
+{
+    static std::atomic<unsigned> seq{0};
+    std::ostringstream os;
+    os << ::getpid() << '.' << std::this_thread::get_id() << '.'
+       << seq.fetch_add(1);
+    return os.str();
+}
+
+/** O_EXCL-create @p path holding one line identifying the owner. */
+bool
+createLeaseFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    char host[256] = "?";
+    (void)::gethostname(host, sizeof(host) - 1);
+    char line[320];
+    const int n = std::snprintf(line, sizeof(line), "owner %s pid %d\n",
+                                host, static_cast<int>(::getpid()));
+    if (n > 0)
+        (void)!::write(fd, line, static_cast<std::size_t>(n));
+    ::close(fd);
+    return true;
+}
+
+} // namespace
+
+LeaseManager::LeaseManager(LeaseConfig config) : cfg(std::move(config))
+{
+    std::error_code ec;
+    fs::create_directories(cfg.dir, ec);
+    if (ec) {
+        fatal("cannot create lease dir ", cfg.dir, ": ", ec.message());
+    }
+    heartbeat = std::thread([this] { heartbeatLoop(); });
+}
+
+LeaseManager::~LeaseManager()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    stopCv.notify_all();
+    heartbeat.join();
+    // Abandoning leases would stall claimers for a full TTL; release
+    // explicitly. Results are already in the cache by the time a
+    // caller lets go of its manager.
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string &path : held) {
+        std::error_code ec;
+        fs::remove(path, ec);
+    }
+    held.clear();
+}
+
+std::string
+LeaseManager::leasePath(const std::string &key) const
+{
+    return cfg.dir + "/" + key + ".lease";
+}
+
+bool
+LeaseManager::isFresh(const std::string &path) const
+{
+    std::error_code ec;
+    const auto written = fs::last_write_time(path, ec);
+    if (ec)
+        return false; // vanished: owner released (or reclaimed away)
+    const auto age = fs::file_time_type::clock::now() - written;
+    return std::chrono::duration<double>(age).count() < cfg.ttlSeconds;
+}
+
+LeaseManager::Acquire
+LeaseManager::tryAcquire(const std::string &key)
+{
+    const std::string path = leasePath(key);
+    // Two rounds: a failed first create may be due to a stale lease,
+    // which we steal and then re-try once. A second failure means a
+    // live contender beat us to it — that's Busy, not an error.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        if (createLeaseFile(path)) {
+            std::lock_guard<std::mutex> lock(mu);
+            held.insert(path);
+            return Acquire::Acquired;
+        }
+        if (errno != EEXIST)
+            return Acquire::Busy; // unexpected FS error: be cautious
+        if (isFresh(path))
+            return Acquire::Busy;
+        // Stale: rename it away. Exactly one reclaimer wins the
+        // rename; losers see ENOENT (the winner took it) and loop to
+        // contend on the O_EXCL create above.
+        const std::string steal = path + ".steal." + uniqueSuffix();
+        std::error_code ec;
+        fs::rename(path, steal, ec);
+        if (!ec)
+            fs::remove(steal, ec);
+    }
+    return Acquire::Busy;
+}
+
+void
+LeaseManager::release(const std::string &key)
+{
+    const std::string path = leasePath(key);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        held.erase(path);
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+std::size_t
+LeaseManager::heldCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return held.size();
+}
+
+void
+LeaseManager::heartbeatLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        stopCv.wait_for(lock, std::chrono::duration<double>(
+                                  cfg.heartbeatSeconds),
+                        [this] { return stopping; });
+        if (stopping)
+            return;
+        for (const std::string &path : held) {
+            std::error_code ec;
+            fs::last_write_time(path, fs::file_time_type::clock::now(),
+                                ec);
+        }
+    }
+}
+
+} // namespace asap

@@ -1,0 +1,77 @@
+#include "dist/merge.hh"
+
+#include <unordered_map>
+#include <utility>
+
+#include "exp/cache.hh"
+
+namespace asap
+{
+
+MergeReport
+mergeShards(const std::vector<ShardManifest> &manifests,
+            ResultCache &cache)
+{
+    MergeReport report;
+    if (manifests.empty()) {
+        report.error = "no shard manifests to merge";
+        return report;
+    }
+
+    const ShardManifest &first = manifests[0];
+    report.sweep = first.sweep;
+    for (const ShardManifest &m : manifests) {
+        if (m.sweep != report.sweep) {
+            report.error = "manifest " + m.path + " is for sweep " +
+                           m.sweep + ", not " + report.sweep +
+                           " — refusing to mix sweeps";
+            return report;
+        }
+        if (m.jobs.size() != first.jobs.size()) {
+            report.error = "manifest " + m.path + " lists " +
+                           std::to_string(m.jobs.size()) +
+                           " jobs, expected " +
+                           std::to_string(first.jobs.size());
+            return report;
+        }
+        report.shardsSeen.push_back(m.shard);
+        report.simulatedTotal += m.simulated;
+    }
+
+    // At-most-once audit: Done/Claimed are exact simulation claims
+    // (shards only record them with the lease held and the cache
+    // checked empty), so a key claimed twice was simulated twice.
+    std::unordered_map<std::string, std::size_t> simulatedBy;
+    for (const ShardManifest &m : manifests) {
+        for (const ManifestJob &j : m.jobs) {
+            if (j.status == ShardJobStatus::Done ||
+                j.status == ShardJobStatus::Claimed) {
+                ++simulatedBy[j.key];
+            }
+        }
+    }
+    for (const auto &[key, count] : simulatedBy) {
+        if (count > 1)
+            report.duplicateSims += count - 1;
+    }
+
+    SweepResult &sr = report.result;
+    sr.jobs.reserve(first.jobs.size());
+    sr.results.resize(first.jobs.size());
+    sr.verdicts.resize(first.jobs.size());
+    for (std::size_t i = 0; i < first.jobs.size(); ++i) {
+        const ManifestJob &mj = first.jobs[i];
+        sr.jobs.push_back(toExperimentJob(mj));
+        CachedResult hit;
+        if (cache.lookup(mj.key, hit)) {
+            sr.results[i] = std::move(hit.run);
+            sr.verdicts[i] = std::move(hit.verdict);
+            ++sr.cacheHits;
+        } else {
+            report.missing.push_back(i);
+        }
+    }
+    return report;
+}
+
+} // namespace asap

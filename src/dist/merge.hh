@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Merge driver: combine shard manifests + the shared cache back into
+ * one SweepResult, as if a single host had run the whole sweep.
+ *
+ * Manifests carry the full ordered job list, so the merge needs no
+ * bench binary and no re-expansion — it looks every recorded key up
+ * in the cache and reports holes (jobs no surviving shard completed)
+ * instead of guessing. Because manifests also record which shard
+ * *simulated* each job, the merge can prove the cluster-wide
+ * at-most-once property: any key simulated by two shards is a
+ * duplicate, and a healthy claim protocol produces zero.
+ */
+
+#ifndef ASAP_DIST_MERGE_HH
+#define ASAP_DIST_MERGE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/manifest.hh"
+#include "exp/engine.hh"
+
+namespace asap
+{
+
+/** The outcome of merging one sweep's shard manifests. */
+struct MergeReport
+{
+    std::string sweep;               //!< merged sweep identity
+    std::vector<ShardSpec> shardsSeen; //!< one per accepted manifest
+
+    /**
+     * The reassembled sweep, results served from the cache in the
+     * manifests' job order. Rows listed in `missing` hold
+     * default-constructed results — check before trusting them.
+     */
+    SweepResult result;
+
+    std::vector<std::size_t> missing; //!< job indices with no result
+
+    std::size_t simulatedTotal = 0; //!< sum of shard `simulated`
+    std::size_t duplicateSims = 0;  //!< keys simulated by >1 shard
+
+    /** Non-empty if the manifests cannot be merged at all (different
+     *  sweeps, inconsistent job lists, no manifests). */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+    bool complete() const { return ok() && missing.empty(); }
+};
+
+/**
+ * Merge @p manifests over @p cache. Manifests must all describe the
+ * same sweep; shard coverage gaps are reported via `missing`, not
+ * errors (a partial merge is still useful for progress monitoring).
+ */
+MergeReport mergeShards(const std::vector<ShardManifest> &manifests,
+                        ResultCache &cache);
+
+} // namespace asap
+
+#endif // ASAP_DIST_MERGE_HH

@@ -1,0 +1,68 @@
+#include "dist/shard.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/cache.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+
+ShardSpec
+parseShardSpec(const std::string &text)
+{
+    ShardSpec spec;
+    const std::size_t slash = text.find('/');
+    char *end = nullptr;
+    if (slash != std::string::npos && slash > 0 &&
+        slash + 1 < text.size()) {
+        spec.index = static_cast<unsigned>(
+            std::strtoul(text.c_str(), &end, 10));
+        if (end == text.c_str() + slash) {
+            spec.count = static_cast<unsigned>(
+                std::strtoul(text.c_str() + slash + 1, &end, 10));
+            if (end == text.c_str() + text.size() && spec.count > 0 &&
+                spec.index < spec.count) {
+                return spec;
+            }
+        }
+    }
+    fatal("bad shard spec '", text, "' (want i/n with 0 <= i < n)");
+    return spec; // unreachable
+}
+
+std::string
+toString(const ShardSpec &spec)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u/%u", spec.index, spec.count);
+    return buf;
+}
+
+unsigned
+shardOf(const std::string &job_key, const ShardSpec &spec)
+{
+    if (spec.count <= 1)
+        return 0;
+    // Salted so a cluster can re-deal a pathological partition; the
+    // '|' separator keeps ("key", "salt") renderings unambiguous.
+    return static_cast<unsigned>(
+        stableHash64(job_key + "|" + spec.salt) % spec.count);
+}
+
+std::string
+sweepId(const std::vector<ExperimentJob> &jobs)
+{
+    std::string text;
+    for (const ExperimentJob &job : jobs) {
+        text += jobKey(job);
+        text += '\n';
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(stableHash64(text)));
+    return buf;
+}
+
+} // namespace asap

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic sweep sharding: how several hosts split one job list.
+ *
+ * A shard owns the dedup-leader keys whose stable hash lands on its
+ * index. Assignment depends only on (job key, shard count, salt) —
+ * never on host state or timing — so every shard of a sweep computes
+ * the identical partition independently, with provable disjointness
+ * (a hash has one residue) and coverage (every residue is some
+ * shard). Duplicate jobs follow their leader: a configuration
+ * repeated across a sweep belongs to exactly one shard, not one per
+ * copy.
+ */
+
+#ifndef ASAP_DIST_SHARD_HH
+#define ASAP_DIST_SHARD_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hh"
+
+namespace asap
+{
+
+/** Which slice of a sweep this process executes. */
+struct ShardSpec
+{
+    unsigned index = 0; //!< this shard, in [0, count)
+    unsigned count = 1; //!< total shards splitting the sweep
+    /** Mixed into the assignment hash: bump to re-deal jobs across
+     *  shards (e.g. after adding hosts) without touching job keys. */
+    std::string salt;
+};
+
+/** Parse "i/n" (e.g. "0/3"); fatal on malformed input or i >= n. */
+ShardSpec parseShardSpec(const std::string &text);
+
+/** Printable "i/n" form. */
+std::string toString(const ShardSpec &spec);
+
+/** The shard index [0, spec.count) that owns @p job_key. */
+unsigned shardOf(const std::string &job_key, const ShardSpec &spec);
+
+/**
+ * Stable identity of a job list: hash over the ordered job keys.
+ * Shards of one sweep agree on it (same bench, same arguments ⇒ same
+ * expansion), so manifests can refuse to merge across different
+ * sweeps. @return 16 lowercase hex digits
+ */
+std::string sweepId(const std::vector<ExperimentJob> &jobs);
+
+} // namespace asap
+
+#endif // ASAP_DIST_SHARD_HH

@@ -1,5 +1,9 @@
 #include "exp/cache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -20,8 +24,14 @@ namespace
  *  entries written by older code). */
 constexpr const char *kCodeSalt = "asap-sim-v1";
 
+/** Age beyond which an abandoned temp file is certainly garbage (no
+ *  writer holds an insert open for minutes). */
+constexpr double kStaleTmpSeconds = 15 * 60.0;
+
+} // namespace
+
 std::uint64_t
-fnv1a64(const std::string &s)
+stableHash64(const std::string &s)
 {
     std::uint64_t h = 14695981039346656037ull;
     for (unsigned char c : s) {
@@ -31,7 +41,11 @@ fnv1a64(const std::string &s)
     return h;
 }
 
-} // namespace
+const char *
+cacheCodeSalt()
+{
+    return kCodeSalt;
+}
 
 std::string
 describeJob(const ExperimentJob &job)
@@ -98,7 +112,7 @@ jobKey(const ExperimentJob &job)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "exp-%016llx",
                   static_cast<unsigned long long>(
-                      fnv1a64(describeJob(job))));
+                      stableHash64(describeJob(job))));
     return buf;
 }
 
@@ -147,9 +161,18 @@ serializeResult(const RunResult &r)
 std::string
 serializeEntry(const CachedResult &e)
 {
-    if (e.kind == JobKind::Run)
-        return serializeResult(e.run); // byte-compatible with PR 1
+    // Every disk entry leads with the writer's code salt. The salt is
+    // also hashed into the key, so a well-behaved writer never creates
+    // a mismatching file — the explicit field catches entries copied
+    // between cache directories by hand and describeJob() edits that
+    // forgot the salt bump, instead of silently trusting them.
     std::ostringstream os;
+    os << "codeSalt " << kCodeSalt << '\n';
+    if (e.kind == JobKind::Run) {
+        appendResultFields(os, e.run);
+        os << "end 1\n";
+        return os.str();
+    }
     os << "kind " << toString(e.kind) << '\n';
     appendResultFields(os, e.run);
     const CrashVerdict &v = e.verdict;
@@ -173,8 +196,14 @@ serializeEntry(const CachedResult &e)
 }
 
 bool
-deserializeEntry(const std::string &text, CachedResult &out)
+deserializeEntry(const std::string &text, CachedResult &out,
+                 std::string *why)
 {
+    const auto reject = [why](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
     std::istringstream is(text);
     std::string field;
     CachedResult e;
@@ -182,12 +211,22 @@ deserializeEntry(const std::string &text, CachedResult &out)
     CrashVerdict &v = e.verdict;
     bool complete = false;
     while (is >> field) {
-        if (field == "kind") {
+        if (field == "codeSalt") {
+            // Absent in pre-hardening entries: those were written
+            // under the same key hash, so absence implies a match.
+            std::string salt;
+            is >> salt;
+            if (salt != kCodeSalt) {
+                return reject("code-salt mismatch (entry '" + salt +
+                              "', running '" + kCodeSalt + "')");
+            }
+        }
+        else if (field == "kind") {
             std::string k;
             is >> k;
             if (k == "run") e.kind = JobKind::Run;
             else if (k == "crash") e.kind = JobKind::Crash;
-            else return false;
+            else return reject("unknown job kind '" + k + "'");
         }
         else if (field == "workload") is >> r.workload;
         else if (field == "model") {
@@ -234,7 +273,7 @@ deserializeEntry(const std::string &text, CachedResult &out)
             std::size_t n = 0;
             is >> n;
             if (!is || n > 4096)
-                return false;
+                return reject("malformed committed-frontier length");
             v.committedUpTo.resize(n);
             for (std::size_t i = 0; i < n; ++i)
                 is >> v.committedUpTo[i];
@@ -247,13 +286,14 @@ deserializeEntry(const std::string &text, CachedResult &out)
             complete = true;
             break;
         } else {
-            return false; // unknown field: written by newer code
+            // Written by newer code than this reader.
+            return reject("unknown field '" + field + "'");
         }
         if (!is)
-            return false;
+            return reject("malformed value for field '" + field + "'");
     }
     if (!complete)
-        return false;
+        return reject("truncated entry (no end marker)");
     out = std::move(e);
     return true;
 }
@@ -268,6 +308,30 @@ deserializeResult(const std::string &text, RunResult &out)
     return true;
 }
 
+std::size_t
+cleanStaleCacheTmp(const std::string &dir, double older_than_seconds)
+{
+    namespace fs = std::filesystem;
+    std::size_t removed = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    const auto age = std::chrono::duration_cast<
+        fs::file_time_type::duration>(
+        std::chrono::duration<double>(older_than_seconds));
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        const auto written = fs::last_write_time(entry.path(), ec);
+        if (ec || now - written < age)
+            continue;
+        if (fs::remove(entry.path(), ec) && !ec)
+            ++removed;
+    }
+    return removed;
+}
+
 ResultCache::ResultCache(std::string disk_dir) : dir(std::move(disk_dir))
 {
     if (!dir.empty()) {
@@ -278,6 +342,14 @@ ResultCache::ResultCache(std::string disk_dir) : dir(std::move(disk_dir))
                  "; disk tier disabled");
             dir.clear();
         }
+    }
+    if (!dir.empty()) {
+        // Sweep up temp files from writers that died mid-insert (a
+        // killed shard, say). Recent ones may belong to a live
+        // concurrent writer, so only old droppings go.
+        const std::size_t n = cleanStaleCacheTmp(dir, kStaleTmpSeconds);
+        if (n > 0)
+            warn("removed ", n, " stale cache temp file(s) from ", dir);
     }
 }
 
@@ -305,13 +377,19 @@ ResultCache::lookup(const std::string &key, CachedResult &out)
             std::ostringstream text;
             text << in.rdbuf();
             CachedResult e;
-            if (deserializeEntry(text.str(), e)) {
+            std::string why;
+            if (deserializeEntry(text.str(), e, &why)) {
                 std::lock_guard<std::mutex> lock(mu);
                 mem.emplace(key, e);
                 ++counters.diskHits;
                 out = e;
                 return true;
             }
+            // A rejected entry counts as a miss, but say why — a
+            // silently re-simulating sweep looks identical to a cold
+            // one, and a salt mismatch means someone's cache dir is
+            // shared across incompatible builds.
+            warn("ignoring cache entry ", diskPath(key), ": ", why);
         }
     }
     std::lock_guard<std::mutex> lock(mu);
@@ -328,14 +406,26 @@ ResultCache::insert(const std::string &key, const CachedResult &e)
     }
     if (dir.empty())
         return;
-    // Unique temp name per thread, then atomic rename.
+    // Unique temp name per thread, fsync, then atomic rename: after a
+    // power cut the entry is either absent or complete and durable —
+    // multi-host sweeps trust remote entries without re-checking.
     std::ostringstream tmp;
     tmp << diskPath(key) << ".tmp." << std::this_thread::get_id();
     {
-        std::ofstream out(tmp.str());
+        const std::string text = serializeEntry(e);
+        std::FILE *out = std::fopen(tmp.str().c_str(), "w");
         if (!out)
             return; // cache is best-effort; simulation result stands
-        out << serializeEntry(e);
+        const bool wrote =
+            std::fwrite(text.data(), 1, text.size(), out) ==
+                text.size() &&
+            std::fflush(out) == 0 && ::fsync(fileno(out)) == 0;
+        std::fclose(out);
+        if (!wrote) {
+            std::error_code ec;
+            std::filesystem::remove(tmp.str(), ec);
+            return;
+        }
     }
     std::error_code ec;
     std::filesystem::rename(tmp.str(), diskPath(key), ec);

@@ -27,11 +27,30 @@
 namespace asap
 {
 
+/** Stable FNV-1a 64-bit hash of a string (cache keys, shard
+ *  assignment, sweep identities — anything that must agree across
+ *  processes and hosts). */
+std::uint64_t stableHash64(const std::string &text);
+
 /** Canonical text rendering of a job (hash input; also debuggable). */
 std::string describeJob(const ExperimentJob &job);
 
 /** Stable cache key ("exp-" + 16 hex digits) for a job. */
 std::string jobKey(const ExperimentJob &job);
+
+/** The running code's version salt (baked into every key and written
+ *  into every disk entry; see the invalidation contract in
+ *  src/exp/README.md). */
+const char *cacheCodeSalt();
+
+/**
+ * Remove `*.tmp.*` droppings older than @p older_than_seconds that
+ * writers killed mid-insert left in @p dir. Runs automatically when a
+ * disk-tier cache is opened; exposed for tests and tooling.
+ * @return number of files removed
+ */
+std::size_t cleanStaleCacheTmp(const std::string &dir,
+                               double older_than_seconds);
 
 /**
  * Tagged cache payload: what a job produced. Run jobs fill only the
@@ -59,10 +78,15 @@ std::string serializeEntry(const CachedResult &e);
 
 /**
  * Parse serializeEntry() output; also accepts plain
- * serializeResult() text (an entry of kind Run).
- * @return false if the text is truncated or malformed
+ * serializeResult() text (an entry of kind Run) and pre-hardening
+ * entries without a codeSalt line.
+ * @param why when non-null, set to a human-readable rejection reason
+ *            (truncated / malformed / code-salt mismatch) on failure
+ * @return false if the text is truncated, malformed, or written by a
+ *         different code version
  */
-bool deserializeEntry(const std::string &text, CachedResult &out);
+bool deserializeEntry(const std::string &text, CachedResult &out,
+                      std::string *why = nullptr);
 
 /** Hit/miss counters, snapshot via ResultCache::stats(). */
 struct CacheStats

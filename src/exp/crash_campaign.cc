@@ -78,20 +78,13 @@ selectCrashTicks(TickStrategy strategy, Tick total_ticks,
     return ticks;
 }
 
-CampaignResult
-runCampaign(const CampaignSpec &spec, const RunOptions &opt)
+std::vector<ExperimentJob>
+campaignProbeJobs(const CampaignSpec &spec)
 {
-    // Phase 1: probe every configuration undisturbed — runtime and
-    // epoch count bound the crash-tick selection. Probes are ordinary
-    // Run jobs: parallel, deduplicated, cached (a figure sweep that
-    // already ran this config makes the probe free).
-    struct Config
-    {
-        std::string workload;
-        SimConfig cfg;
-        std::size_t probeIdx;
-    };
-    std::vector<Config> configs;
+    // One probe Run job per configuration — runtime and epoch count
+    // bound the crash-tick selection. Probes are ordinary Run jobs:
+    // parallel, deduplicated, cached (a figure sweep that already ran
+    // this config makes the probe free).
     JobSet probes;
     for (const std::string &w : spec.workloads) {
         for (const ModelPair &m : spec.models) {
@@ -100,19 +93,21 @@ runCampaign(const CampaignSpec &spec, const RunOptions &opt)
                 cfg.model = m.first;
                 cfg.persistency = m.second;
                 cfg.numCores = cores;
-                const std::size_t idx = probes.add(w, cfg, spec.params);
-                configs.push_back({w, probes.jobs()[idx].cfg, idx});
+                probes.add(w, cfg, spec.params);
             }
         }
     }
-    const SweepResult probeSr = runJobs(probes.jobs(), opt);
+    return probes.jobs();
+}
 
-    // Phase 2: expand crash points per configuration and sweep them.
-    CampaignResult out;
+CampaignExpansion
+expandCampaign(const CampaignSpec &spec, const SweepResult &probe_sr)
+{
+    CampaignExpansion out;
     JobSet crash;
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        const Config &conf = configs[c];
-        const RunResult &probe = probeSr.at(conf.probeIdx);
+    for (std::size_t c = 0; c < probe_sr.jobs.size(); ++c) {
+        const ExperimentJob &conf = probe_sr.jobs[c];
+        const RunResult &probe = probe_sr.at(c);
         const std::vector<Tick> ticks = selectCrashTicks(
             spec.strategy, probe.runTicks, probe.epochs,
             conf.cfg.numCores, spec.ticksPerConfig,
@@ -130,9 +125,21 @@ runCampaign(const CampaignSpec &spec, const RunOptions &opt)
         row.points = ticks.size();
         out.rows.push_back(std::move(row));
     }
-    out.sweep = runJobs(crash.jobs(), opt);
+    out.crashJobs = crash.jobs();
+    return out;
+}
 
-    // Phase 3: verdict accounting, in submission (= config) order.
+CampaignResult
+runCampaign(const CampaignSpec &spec, const RunOptions &opt)
+{
+    const SweepResult probeSr = runJobs(campaignProbeJobs(spec), opt);
+    CampaignExpansion expansion = expandCampaign(spec, probeSr);
+
+    CampaignResult out;
+    out.rows = std::move(expansion.rows);
+    out.sweep = runJobs(std::move(expansion.crashJobs), opt);
+
+    // Verdict accounting, in submission (= config) order.
     out.badJobs = out.sweep.inconsistentJobs();
     std::size_t next = 0;
     for (CampaignRow &row : out.rows) {

@@ -98,6 +98,30 @@ struct CampaignResult
 };
 
 /**
+ * Phase 1 of a campaign: one probe Run job per (workload, model,
+ * core count) configuration, in the cross-product order rows are
+ * reported in. Probes measure the undisturbed runtime and epoch
+ * count that bound crash-tick selection.
+ */
+std::vector<ExperimentJob> campaignProbeJobs(const CampaignSpec &spec);
+
+/** Phase-2 expansion: the crash jobs and their per-config rows. */
+struct CampaignExpansion
+{
+    std::vector<ExperimentJob> crashJobs; //!< config-major, tick order
+    std::vector<CampaignRow> rows;        //!< points filled, verdicts not
+};
+
+/**
+ * Derive the crash sweep from probe results. @p probe_sr must be the
+ * result of running campaignProbeJobs(spec) — tick selection is
+ * deterministic in the spec and the probe stats, so every shard of a
+ * distributed campaign expands an identical job list.
+ */
+CampaignExpansion expandCampaign(const CampaignSpec &spec,
+                                 const SweepResult &probe_sr);
+
+/**
  * Run a campaign: probe sweep, tick selection, crash sweep.
  * Both sweeps go through the engine with @p opt (parallel + cached).
  */

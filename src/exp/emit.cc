@@ -104,6 +104,8 @@ emitJson(std::ostream &os, const SweepResult &sr)
        << ", \"uniqueRuns\": " << sr.uniqueRuns
        << ", \"cacheHits\": " << sr.cacheHits
        << ", \"diskHits\": " << sr.diskHits
+       << ", \"traceHits\": " << sr.traceHits
+       << ", \"traceMisses\": " << sr.traceMisses
        << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
        << "  \"results\": [\n";
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {

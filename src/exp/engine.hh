@@ -34,6 +34,15 @@ struct RunOptions
 
     /** Cache to consult/fill; nullptr = the shared processCache(). */
     ResultCache *cache = nullptr;
+
+    /**
+     * Emit rate-limited progress/ETA lines (jobs done/total,
+     * cache-hit rate, EMA-based ETA) to stderr while the sweep runs.
+     * Off by default: progress goes through the locked log path and
+     * bypasses the quiet flag, but never touches stdout, so bench
+     * tables stay byte-identical with or without it.
+     */
+    bool progress = false;
 };
 
 /** A completed sweep: jobs, their results, and cache accounting. */
@@ -49,6 +58,8 @@ struct SweepResult
     std::size_t uniqueRuns = 0;   //!< simulations actually executed
     std::uint64_t cacheHits = 0;  //!< jobs served without simulating
     std::uint64_t diskHits = 0;   //!< subset of cacheHits from disk
+    std::uint64_t traceHits = 0;  //!< simulations reusing a memoised trace
+    std::uint64_t traceMisses = 0; //!< simulations that generated one
     double wallSeconds = 0.0;     //!< sweep wall-clock
 
     const RunResult &at(std::size_t i) const { return results[i]; }

@@ -1,5 +1,10 @@
 #include "harness/runner.hh"
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "harness/system.hh"
@@ -31,6 +36,61 @@ buildJobTrace(const std::string &workload, const SimConfig &cfg,
         return rec.finish();
     }
     return buildTrace(workload, cfg.numCores, p);
+}
+
+/**
+ * Trace memoisation. Generation depends only on (workload, cores,
+ * WorkloadParams) — a strict subset of the result-cache key — so the
+ * five model variants of a figure column and the hundreds of crash
+ * ticks of a campaign config all replay one recorded trace. Entries
+ * carry their own mutex: the first thread to want a trace generates
+ * it while later threads block on that entry only, not the map.
+ */
+struct TraceCacheEntry
+{
+    std::mutex mu;
+    bool ready = false;
+    TraceSet trace;
+};
+
+std::mutex traceMapMu;
+std::unordered_map<std::string, std::shared_ptr<TraceCacheEntry>>
+    traceMap;
+std::atomic<std::uint64_t> traceHits{0};
+std::atomic<std::uint64_t> traceMisses{0};
+
+std::string
+traceKey(const std::string &workload, unsigned cores,
+         const WorkloadParams &p)
+{
+    std::ostringstream os;
+    os << workload << '|' << cores << '|' << p.opsPerThread << '|'
+       << p.keySpace << '|' << p.valueBytes << '|' << p.updatePct
+       << '|' << p.seed;
+    return os.str();
+}
+
+TraceSet
+obtainJobTrace(const std::string &workload, const SimConfig &cfg,
+               const WorkloadParams &p)
+{
+    std::shared_ptr<TraceCacheEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(traceMapMu);
+        auto &slot = traceMap[traceKey(workload, cfg.numCores, p)];
+        if (!slot)
+            slot = std::make_shared<TraceCacheEntry>();
+        entry = slot;
+    }
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->ready) {
+        entry->trace = buildJobTrace(workload, cfg, p);
+        entry->ready = true;
+        traceMisses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        traceHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return entry->trace;
 }
 
 /** Extract the Table VI stat bundle from a finished (or crashed)
@@ -71,12 +131,30 @@ extractResult(System &sys, const std::string &workload,
 
 } // namespace
 
+TraceCacheStats
+traceCacheStats()
+{
+    TraceCacheStats s;
+    s.hits = traceHits.load(std::memory_order_relaxed);
+    s.misses = traceMisses.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+clearTraceCache()
+{
+    std::lock_guard<std::mutex> lock(traceMapMu);
+    traceMap.clear();
+    traceHits.store(0, std::memory_order_relaxed);
+    traceMisses.store(0, std::memory_order_relaxed);
+}
+
 RunResult
 runExperiment(const std::string &workload, const SimConfig &cfg,
               const WorkloadParams &p)
 {
     System sys(cfg);
-    sys.loadTrace(buildJobTrace(workload, cfg, p));
+    sys.loadTrace(obtainJobTrace(workload, cfg, p));
     if (!sys.run())
         warn("experiment ", workload, " did not finish");
     return extractResult(sys, workload, cfg);
@@ -100,7 +178,7 @@ runCrashExperiment(const std::string &workload, const SimConfig &cfg,
                    const WorkloadParams &p, Tick crash_tick)
 {
     System sys(cfg, /*keep_run_log=*/true);
-    sys.loadTrace(buildJobTrace(workload, cfg, p));
+    sys.loadTrace(obtainJobTrace(workload, cfg, p));
     sys.crashAt(crash_tick);
 
     CrashRunResult out;

@@ -53,6 +53,25 @@ struct RunResult
     std::uint64_t totalCoreCycles() const { return runTicks * cores; }
 };
 
+/**
+ * Hit/miss counters of the in-process trace memoisation: trace
+ * generation is deterministic in (workload, cores, params), so jobs
+ * sharing a configuration — every crash campaign, every multi-model
+ * figure column — reuse one generated TraceSet instead of
+ * regenerating it per simulation.
+ */
+struct TraceCacheStats
+{
+    std::uint64_t hits = 0;   //!< runs served a memoised trace
+    std::uint64_t misses = 0; //!< runs that generated the trace
+};
+
+/** Snapshot of the process-wide trace-memoisation counters. */
+TraceCacheStats traceCacheStats();
+
+/** Drop memoised traces and zero the counters (tests). */
+void clearTraceCache();
+
 /** Run one workload under one configuration. */
 RunResult runExperiment(const std::string &workload,
                         const SimConfig &cfg, const WorkloadParams &p);

@@ -34,6 +34,14 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
 /** Silence warn()/inform() output (used by tests and benches). */
 void setLogQuiet(bool quiet);
 
+/**
+ * Write one status line to stderr through the locked log path,
+ * regardless of the quiet flag. For opt-in progress/ETA output:
+ * callers only reach this when the user asked for it, so it must not
+ * be swallowed by the quiet mode benches run under.
+ */
+void statusLine(const std::string &msg);
+
 namespace log_detail
 {
 

@@ -146,12 +146,15 @@ TEST(CrashJobs, EntrySerializationRoundTripsVerdicts)
     EXPECT_EQ(back.run.runTicks, 4242u);
     expectSameVerdict(e.verdict, back.verdict);
 
-    // Run entries keep the PR 1 wire format.
+    // Run entries keep the PR 1 stat wire format, now prefixed by the
+    // code-version stamp (legacy unstamped entries still parse).
     CachedResult runEntry;
     runEntry.run.workload = "queue";
     runEntry.run.model = ModelKind::Hops;
     runEntry.run.persistency = PersistencyModel::Epoch;
-    EXPECT_EQ(serializeEntry(runEntry), serializeResult(runEntry.run));
+    EXPECT_EQ(serializeEntry(runEntry),
+              std::string("codeSalt ") + cacheCodeSalt() + "\n" +
+                  serializeResult(runEntry.run));
 
     // Truncation is rejected.
     const std::string text = serializeEntry(e);

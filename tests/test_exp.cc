@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "exp/cache.hh"
@@ -197,6 +199,65 @@ TEST(Cache, DiskTierSurvivesProcessCacheLoss)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Cache, RejectsEntriesFromAnotherCodeVersion)
+{
+    RunResult r;
+    r.workload = "queue";
+    r.model = ModelKind::Asap;
+    r.persistency = PersistencyModel::Release;
+    r.runTicks = 42;
+    CachedResult e;
+    e.run = r;
+
+    // Every serialized entry carries the running code's salt...
+    const std::string text = serializeEntry(e);
+    const std::string saltLine =
+        std::string("codeSalt ") + cacheCodeSalt() + "\n";
+    ASSERT_EQ(text.rfind(saltLine, 0), 0u);
+
+    // ...and an entry stamped by a different version must miss with a
+    // reason, not deserialize into stale results.
+    const std::string stale =
+        "codeSalt different-version\n" + text.substr(saltLine.size());
+    CachedResult out;
+    std::string why;
+    EXPECT_FALSE(deserializeEntry(stale, out, &why));
+    EXPECT_NE(why.find("code-salt mismatch"), std::string::npos);
+
+    // Entries written before the salt line existed still load.
+    CachedResult legacy;
+    EXPECT_TRUE(deserializeEntry(serializeResult(r), legacy, &why))
+        << why;
+    EXPECT_EQ(legacy.run.runTicks, 42u);
+}
+
+TEST(Cache, CleansStaleTmpDroppings)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "asap_exp_tmpclean").string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto touch = [&](const std::string &name) {
+        std::ofstream(dir + "/" + name) << "x";
+        return dir + "/" + name;
+    };
+    const std::string stale = touch("exp-1.tmp.123");
+    const std::string fresh = touch("exp-2.tmp.456");
+    const std::string entry = touch("exp-3");
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(2));
+
+    // Only tmp files older than the threshold go; a live writer's
+    // fresh tmp and real entries stay.
+    EXPECT_EQ(cleanStaleCacheTmp(dir, 3600.0), 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+    EXPECT_TRUE(fs::exists(entry));
+    fs::remove_all(dir);
+}
+
 TEST(Pool, RunsEverySubmittedTask)
 {
     ThreadPool pool(4);
@@ -282,6 +343,45 @@ TEST(Engine, DuplicateJobsSimulateOnce)
         expectSameResult(sr.results[i], again.results[i]);
 }
 
+TEST(Engine, TraceMemoizationCountsHitsAndMisses)
+{
+    setLogQuiet(true);
+    clearTraceCache();
+
+    // Three models over the same (workload, cores, params) tuple: the
+    // trace is generated once and reused twice, whatever order the
+    // pool runs the jobs in (waiters block on the entry, then hit).
+    JobSet set;
+    set.add("queue", ModelKind::Baseline, PersistencyModel::Release, 2,
+            tinyParams());
+    set.add("queue", ModelKind::Hops, PersistencyModel::Release, 2,
+            tinyParams());
+    set.add("queue", ModelKind::Asap, PersistencyModel::Release, 2,
+            tinyParams());
+
+    ResultCache cache;
+    RunOptions opt;
+    opt.jobs = 4;
+    opt.cache = &cache;
+    const SweepResult sr = runJobs(set.jobs(), opt);
+    EXPECT_EQ(sr.uniqueRuns, 3u);
+    EXPECT_EQ(sr.traceMisses, 1u);
+    EXPECT_EQ(sr.traceHits, 2u);
+
+    // Memoisation must not leak results across configs: a direct,
+    // uncached run of each job still matches.
+    for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+        const ExperimentJob &j = sr.jobs[i];
+        RunResult direct = runExperiment(j.workload, j.cfg, j.params);
+        expectSameResult(sr.results[i], direct);
+    }
+
+    // The counters are process-global and monotonic.
+    const TraceCacheStats stats = traceCacheStats();
+    EXPECT_GE(stats.hits, 2u);
+    EXPECT_GE(stats.misses, 1u);
+}
+
 TEST(Engine, FindLocatesResultsByTuple)
 {
     setLogQuiet(true);
@@ -326,6 +426,9 @@ TEST(Emit, JsonAndCsvCarryEveryJob)
     EXPECT_NE(json.str().find("\"model\": \"hops\""),
               std::string::npos);
     EXPECT_NE(json.str().find("\"runTicks\": "), std::string::npos);
+    // The sweep header reports trace-memoisation accounting.
+    EXPECT_NE(json.str().find("\"traceHits\": "), std::string::npos);
+    EXPECT_NE(json.str().find("\"traceMisses\": "), std::string::npos);
 
     std::ostringstream csv;
     emitCsv(csv, sr);
