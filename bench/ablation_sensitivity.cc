@@ -37,7 +37,7 @@ main(int argc, char **argv)
     const unsigned rtSizes[] = {2u, 4u, 8u, 16u, 32u, 64u};
     std::vector<std::size_t> rtIdx;
     for (unsigned rt : rtSizes) {
-        SimConfig cfg;
+        SimConfig cfg = args.baseConfig();
         cfg.rtEntries = rt;
         rtIdx.push_back(addKind(w, ModelKind::Asap, cfg));
     }
@@ -45,7 +45,7 @@ main(int argc, char **argv)
     const unsigned pbSizes[] = {8u, 16u, 32u, 64u};
     std::vector<std::size_t> pbAsap, pbHops;
     for (unsigned pb : pbSizes) {
-        SimConfig cfg;
+        SimConfig cfg = args.baseConfig();
         cfg.pbEntries = pb;
         pbAsap.push_back(addKind(w, ModelKind::Asap, cfg));
         pbHops.push_back(addKind(w, ModelKind::Hops, cfg));
@@ -54,7 +54,7 @@ main(int argc, char **argv)
     const unsigned bankCounts[] = {2u, 4u, 8u, 16u, 24u, 32u};
     std::vector<std::size_t> bwAsap, bwHops;
     for (unsigned banks : bankCounts) {
-        SimConfig cfg;
+        SimConfig cfg = args.baseConfig();
         cfg.nvmBanks = banks;
         bwAsap.push_back(addKind("bandwidth", ModelKind::Asap, cfg));
         bwHops.push_back(addKind("bandwidth", ModelKind::Hops, cfg));
@@ -63,14 +63,14 @@ main(int argc, char **argv)
     const unsigned mcCounts[] = {1u, 2u, 4u};
     std::vector<std::size_t> mcAsap, mcHops;
     for (unsigned mcs : mcCounts) {
-        SimConfig cfg;
+        SimConfig cfg = args.baseConfig();
         cfg.numMCs = mcs;
         cfg.nvmBanks = 48 / mcs; // fixed aggregate write bandwidth
         mcAsap.push_back(addKind("bandwidth", ModelKind::Asap, cfg));
         mcHops.push_back(addKind("bandwidth", ModelKind::Hops, cfg));
     }
 
-    SimConfig defCfg;
+    SimConfig defCfg = args.baseConfig();
     const std::size_t hoHops = addKind("handoff", ModelKind::Hops,
                                        defCfg);
     const std::size_t hoAsap = addKind("handoff", ModelKind::Asap,

@@ -6,9 +6,12 @@
  *   --ops N        high-level operations per thread (default 200)
  *   --seed S       RNG seed
  *   --workload W   restrict to one workload (default: all)
+ *   --media P      NVM media profile (default: paper-table2)
  *   --jobs N       parallel simulations (default: hardware threads)
  *   --json PATH    write the sweep's raw results as JSON (.csv: CSV)
  *   --progress     rate-limited progress/ETA lines on stderr
+ *   --list-media   print the media-profile registry and exit
+ *   --list-workloads  print the workload registry and exit
  *   --shard i/n    run only shard i of n (requires ASAP_CACHE_DIR);
  *                  results go to the shared cache + a manifest, and
  *                  bench/sweep_merge reassembles the sweep afterwards
@@ -35,6 +38,7 @@
 
 #include "dist/executor.hh"
 #include "dist/shard.hh"
+#include "media/media.hh"
 #include "exp/emit.hh"
 #include "exp/engine.hh"
 #include "exp/sweep.hh"
@@ -51,6 +55,7 @@ struct BenchArgs
     unsigned ops = 200;
     std::uint64_t seed = 1;
     std::string workload; //!< empty = all
+    std::string media = kDefaultMediaProfile; //!< media profile
     unsigned jobs = 0;    //!< sweep workers; 0 = hardware default
     std::string jsonPath; //!< empty = no artifact
     bool progress = false; //!< stderr progress/ETA lines
@@ -74,6 +79,25 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--workload") &&
                        i + 1 < argc) {
                 a.workload = argv[++i];
+            } else if (!std::strcmp(argv[i], "--media") &&
+                       i + 1 < argc) {
+                a.media = argv[++i];
+                if (!isMediaProfile(a.media)) {
+                    std::fprintf(stderr, "error: unknown media "
+                                 "profile '%s' (try --list-media)\n",
+                                 a.media.c_str());
+                    std::exit(2);
+                }
+            } else if (!std::strcmp(argv[i], "--list-media")) {
+                for (const MediaProfileInfo &m : allMediaProfiles())
+                    std::printf("%-14s %s\n", m.name.c_str(),
+                                m.description.c_str());
+                std::exit(0);
+            } else if (!std::strcmp(argv[i], "--list-workloads")) {
+                for (const WorkloadInfo &w : allWorkloads())
+                    std::printf("%-10s %s\n", w.name.c_str(),
+                                w.description.c_str());
+                std::exit(0);
             } else if (!std::strcmp(argv[i], "--jobs") &&
                        i + 1 < argc) {
                 a.jobs = static_cast<unsigned>(
@@ -100,8 +124,9 @@ struct BenchArgs
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--ops N] [--seed S] "
-                             "[--workload W] [--jobs N] "
+                             "[--workload W] [--media P] [--jobs N] "
                              "[--json PATH] [--progress] "
+                             "[--list-media] [--list-workloads] "
                              "[--shard i/n [--claim] [--salt S] "
                              "[--lease-ttl SEC]]\n", argv[0]);
                 std::exit(2);
@@ -131,6 +156,16 @@ struct BenchArgs
         p.opsPerThread = ops;
         p.seed = seed;
         return p;
+    }
+
+    /** Base SimConfig with the selected media profile applied. Every
+     *  bench starts from this so --media reaches each job. */
+    SimConfig
+    baseConfig() const
+    {
+        SimConfig cfg;
+        cfg.mediaProfile = media;
+        return cfg;
     }
 
     RunOptions

@@ -29,6 +29,7 @@ struct CampaignArgs
     unsigned ops = 200;
     std::uint64_t seed = 1;
     std::string workload; //!< empty = all Table III workloads
+    std::string media = kDefaultMediaProfile; //!< media profile
     unsigned jobs = 0;
     std::string jsonPath;
 
@@ -55,14 +56,16 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--ops N] [--seed S] [--workload W] [--jobs N]\n"
+        "usage: %s [--ops N] [--seed S] [--workload W] [--media P] "
+        "[--jobs N]\n"
         "          [--json PATH] [--ticks N] [--strategy "
         "stride|epoch|random]\n"
         "          [--tick-seed S] [--cores N] [--models "
         "m1_pm1,m2_pm2,...]\n"
         "          [--progress] [--shard i/n [--claim] [--salt S] "
         "[--lease-ttl SEC]]\n"
-        "       %s --repro --workload W --model M --pm P --cores N\n"
+        "       %s --repro --workload W [--media P] --model M --pm P "
+        "--cores N\n"
         "          --ops N --seed S --crash-tick T\n",
         argv0, argv0);
     std::exit(2);
@@ -85,6 +88,21 @@ parseArgs(int argc, char **argv)
             a.seed = std::strtoull(need(i), nullptr, 0), ++i;
         else if (!std::strcmp(arg, "--workload"))
             a.workload = need(i), ++i;
+        else if (!std::strcmp(arg, "--media")) {
+            a.media = need(i), ++i;
+            if (!isMediaProfile(a.media)) {
+                std::fprintf(stderr, "error: unknown media profile "
+                             "'%s' (try --list-media)\n",
+                             a.media.c_str());
+                std::exit(2);
+            }
+        }
+        else if (!std::strcmp(arg, "--list-media")) {
+            for (const MediaProfileInfo &m : allMediaProfiles())
+                std::printf("%-14s %s\n", m.name.c_str(),
+                            m.description.c_str());
+            std::exit(0);
+        }
         else if (!std::strcmp(arg, "--jobs"))
             a.jobs = unsigned(std::strtoul(need(i), nullptr, 0)), ++i;
         else if (!std::strcmp(arg, "--json"))
@@ -186,6 +204,7 @@ int
 runRepro(const CampaignArgs &a)
 {
     SimConfig cfg;
+    cfg.mediaProfile = a.media;
     cfg.model = parseModelKind(a.model);
     cfg.persistency = parsePersistencyModel(a.pm);
     cfg.numCores = a.cores;
@@ -197,9 +216,12 @@ runRepro(const CampaignArgs &a)
     opt.jobs = a.jobs;
     const SweepResult sr = runJobs(set.jobs(), opt);
 
-    std::printf("=== repro: %s %s/%s %u cores, crash @ %llu ===\n",
-                a.workload.c_str(), a.model.c_str(), a.pm.c_str(),
-                a.cores, (unsigned long long)a.crashTick);
+    std::printf("=== repro: %s%s%s %s/%s %u cores, crash @ %llu ===\n",
+                a.workload.c_str(),
+                a.media == kDefaultMediaProfile ? "" : " on ",
+                a.media == kDefaultMediaProfile ? "" : a.media.c_str(),
+                a.model.c_str(), a.pm.c_str(), a.cores,
+                (unsigned long long)a.crashTick);
     printVerdict(sr.verdicts[0]);
     return sr.verdicts[0].consistent ? 0 : 1;
 }
@@ -217,6 +239,7 @@ runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
     spec.models = parseModels(a.models);
     spec.coreCounts = {a.cores};
     spec.params = paramsFor(a);
+    spec.base.mediaProfile = a.media;
     spec.strategy = parseTickStrategy(a.strategy);
     spec.ticksPerConfig = a.ticks;
     spec.tickSeed = a.tickSeed;

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     spec.models = {{ModelKind::Hops, PersistencyModel::Release}};
     spec.coreCounts = {4};
     spec.params = args.params();
+    spec.base = args.baseConfig();
     if (maybeRunShard(args, spec.expand()))
         return 0;
     const SweepResult sr = runSweep(spec, args.options());

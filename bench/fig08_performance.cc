@@ -37,15 +37,21 @@ main(int argc, char **argv)
     // dedups any repeats and runs everything in parallel.
     const std::vector<std::string> names = args.workloads();
     JobSet set;
+    auto addJob = [&](const std::string &name, ModelKind kind,
+                      PersistencyModel pm) {
+        SimConfig cfg = args.baseConfig();
+        cfg.model = kind;
+        cfg.persistency = pm;
+        cfg.numCores = 4;
+        return set.add(name, cfg, args.params());
+    };
     std::vector<std::size_t> baseIdx;
     std::vector<std::vector<std::size_t>> colIdx(std::size(cols));
     for (const std::string &name : names) {
-        baseIdx.push_back(set.add(name, ModelKind::Baseline,
-                                  PersistencyModel::Release, 4,
-                                  args.params()));
+        baseIdx.push_back(addJob(name, ModelKind::Baseline,
+                                 PersistencyModel::Release));
         for (std::size_t i = 0; i < std::size(cols); ++i) {
-            colIdx[i].push_back(set.add(name, cols[i].kind, cols[i].pm,
-                                        4, args.params()));
+            colIdx[i].push_back(addJob(name, cols[i].kind, cols[i].pm));
         }
     }
     if (maybeRunShard(args, set.jobs()))

@@ -43,6 +43,7 @@ main(int argc, char **argv)
                    {ModelKind::Asap, PersistencyModel::Release}};
     spec.coreCounts = coreCounts;
     spec.params = args.params();
+    spec.base = args.baseConfig();
     if (maybeRunShard(args, spec.expand()))
         return 0;
     const SweepResult sr = runSweep(spec, args.options());

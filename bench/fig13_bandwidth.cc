@@ -39,7 +39,7 @@ main(int argc, char **argv)
     JobSet set;
     std::vector<std::size_t> rowIdx;
     for (const Row &row : rows) {
-        SimConfig cfg;
+        SimConfig cfg = args.baseConfig();
         cfg.model = row.kind;
         cfg.persistency = PersistencyModel::Release;
         cfg.nvmBanks = 24;
@@ -53,10 +53,13 @@ main(int argc, char **argv)
                 "(256B ofence-ordered bursts across 2 MCs) ===\n");
     std::printf("%-10s %12s %12s %10s\n", "model", "ticks", "GB/s",
                 "vsHOPS");
-    const double bytes = 4.0 * 256.0 * args.ops; // threads x burst
     double hopsBw = 0;
     for (std::size_t i = 0; i < std::size(rows); ++i) {
         const RunResult &r = sr.at(rowIdx[i]);
+        // One source of truth: the MCs' media byte counter. The
+        // microbench writes distinct lines (no coalescing), so this
+        // equals 4 threads x 256 B x ops exactly.
+        const double bytes = static_cast<double>(r.mediaBytesWritten);
         const double secs = ticksToNs(r.runTicks) * 1e-9;
         const double gbps = bytes / secs / 1e9;
         if (rows[i].kind == ModelKind::Hops)

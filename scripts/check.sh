@@ -63,4 +63,23 @@ unset ASAP_CACHE_DIR
 diff "$TMP/fig02_single.csv" "$TMP/fig02_merged.csv"
 grep -q 'duplicate simulations: 0' "$TMP/merge.txt"
 
-echo "check.sh: build, tests, parallel sweep, crash campaign and sharded merge all passed"
+# Media-model smoke check: two profiles through the media sweep (the
+# non-default one exercises the bandwidth-cap queue and the media
+# columns in the artifact), sharded across two workers over a shared
+# cache, merged and audited for duplicate simulations. Small ops keep
+# this TSan-compatible.
+export ASAP_CACHE_DIR="$TMP/media-cache"
+"$BUILD/bench/media_sweep" --jobs 4 --ops 30 --workload cceh \
+    --profiles paper-table2,slow-nvm --shard 0/2 --claim \
+    > "$TMP/media0.txt"
+"$BUILD/bench/media_sweep" --jobs 4 --ops 30 --workload cceh \
+    --profiles paper-table2,slow-nvm --shard 1/2 --claim \
+    > "$TMP/media1.txt"
+"$BUILD/bench/sweep_merge" --cache-dir "$ASAP_CACHE_DIR" \
+    --out "$TMP/media_merged.csv" 2> "$TMP/media_merge.txt"
+unset ASAP_CACHE_DIR
+grep -q 'duplicate simulations: 0' "$TMP/media_merge.txt"
+grep -q '^workload,.*,media,' "$TMP/media_merged.csv"
+grep -q ',slow-nvm,' "$TMP/media_merged.csv"
+
+echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge and media sweep all passed"

@@ -30,11 +30,16 @@ mkdir -p "$RESULTS"
 for bench in fig02_epochs fig03_pb_stalls fig08_performance \
              fig09_writes fig10_scaling fig11_pb_occupancy \
              fig12_rt_occupancy fig13_bandwidth tab05_hwcost \
-             ablation_sensitivity crash_campaign; do
+             ablation_sensitivity crash_campaign media_sweep; do
     echo "=== $bench ==="
     EXTRA=()
     if [ "$bench" = crash_campaign ] && [ "$QUICK" = 1 ]; then
         EXTRA+=(--ticks 8)
+    fi
+    if [ "$bench" = media_sweep ] && [ "$QUICK" = 1 ]; then
+        # One workload across every registered profile keeps the
+        # quick pass short while still exercising the media axis.
+        EXTRA+=(--workload cceh)
     fi
     "$BUILD/bench/$bench" ${ARGS[@]+"${ARGS[@]}"} \
         ${EXTRA[@]+"${EXTRA[@]}"} \

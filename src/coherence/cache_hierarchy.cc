@@ -6,7 +6,8 @@ namespace asap
 {
 
 CacheHierarchy::CacheHierarchy(const SimConfig &cfg, StatSet &stats)
-    : cfg(cfg), stats(stats), llc(cfg.llcSets, cfg.llcWays)
+    : cfg(cfg), stats(stats), mediaParams_(resolveMediaParams(cfg)),
+      llc(cfg.llcSets, cfg.llcWays)
 {
     privs.reserve(cfg.numCores);
     for (unsigned i = 0; i < cfg.numCores; ++i)
@@ -62,7 +63,8 @@ CacheHierarchy::access(std::uint16_t thread, std::uint64_t line,
             res.latency = cfg.llcLatency;
             stats.inc("cache.llcHits");
         } else {
-            res.latency = is_pm ? cfg.pmReadLatency : cfg.dramLatency;
+            res.latency = is_pm ? mediaParams_.readLatency
+                                : mediaParams_.dramFillLatency;
             stats.inc(is_pm ? "cache.pmFills" : "cache.dramFills");
         }
     }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "coherence/cache_array.hh"
+#include "media/media.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
@@ -74,6 +75,9 @@ class CacheHierarchy
   private:
     const SimConfig &cfg;
     StatSet &stats;
+    /** Resolved media timing: miss fills draw the PM read / DRAM fill
+     *  latency from the configured profile, not SimConfig constants. */
+    MediaParams mediaParams_;
 
     struct PrivateCaches
     {

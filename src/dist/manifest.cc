@@ -18,8 +18,10 @@ namespace asap
 namespace
 {
 
-/** Bump when the manifest wire format changes incompatibly. */
-constexpr int kManifestVersion = 1;
+/** Bump when the manifest wire format changes incompatibly.
+ *  v2: job lines carry the media profile (between workload and
+ *  model), so merged media sweeps reproduce their media columns. */
+constexpr int kManifestVersion = 2;
 
 } // namespace
 
@@ -74,10 +76,10 @@ serializeManifest(const ShardManifest &m)
     for (std::size_t i = 0; i < m.jobs.size(); ++i) {
         const ManifestJob &j = m.jobs[i];
         os << "job " << i << ' ' << j.key << ' ' << toString(j.kind)
-           << ' ' << j.workload << ' ' << toString(j.model) << ' '
-           << toString(j.pm) << ' ' << j.cores << ' ' << j.seed << ' '
-           << j.ops << ' ' << j.crashTick << ' ' << toString(j.status)
-           << '\n';
+           << ' ' << j.workload << ' ' << j.media << ' '
+           << toString(j.model) << ' ' << toString(j.pm) << ' '
+           << j.cores << ' ' << j.seed << ' ' << j.ops << ' '
+           << j.crashTick << ' ' << toString(j.status) << '\n';
     }
     os << "end 1\n";
     return os.str();
@@ -129,8 +131,9 @@ deserializeManifest(const std::string &text, ShardManifest &out,
             std::size_t idx = 0;
             std::string kind, model, pm, status;
             ManifestJob j;
-            is >> idx >> j.key >> kind >> j.workload >> model >> pm >>
-                j.cores >> j.seed >> j.ops >> j.crashTick >> status;
+            is >> idx >> j.key >> kind >> j.workload >> j.media >>
+                model >> pm >> j.cores >> j.seed >> j.ops >>
+                j.crashTick >> status;
             if (!is)
                 return reject("malformed job line");
             if (idx != m.jobs.size())
@@ -235,6 +238,7 @@ toExperimentJob(const ManifestJob &mj)
     // reproduced here.
     ExperimentJob job;
     job.workload = mj.workload;
+    job.cfg.mediaProfile = mj.media;
     job.cfg.model = mj.model;
     job.cfg.persistency = mj.pm;
     job.cfg.numCores = mj.cores;
@@ -253,6 +257,7 @@ toManifestJob(const ExperimentJob &job, const std::string &key)
     mj.key = key;
     mj.kind = job.kind;
     mj.workload = job.workload;
+    mj.media = job.cfg.mediaProfile;
     mj.model = job.cfg.model;
     mj.pm = job.cfg.persistency;
     mj.cores = job.cfg.numCores;

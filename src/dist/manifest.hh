@@ -49,6 +49,7 @@ struct ManifestJob
     std::string key;     //!< result-cache key (authoritative)
     JobKind kind = JobKind::Run;
     std::string workload;
+    std::string media = kDefaultMediaProfile; //!< media profile
     ModelKind model = ModelKind::Baseline;
     PersistencyModel pm = PersistencyModel::Release;
     unsigned cores = 0;

@@ -21,8 +21,12 @@ namespace
 {
 
 /** Bump when a change alters simulation results (invalidates disk
- *  entries written by older code). */
-constexpr const char *kCodeSalt = "asap-sim-v1";
+ *  entries written by older code).
+ *
+ *  v2: media-model subsystem (src/media/) — results gained media
+ *  byte/queue-delay/bank-occupancy and XPBuffer hit/miss counters,
+ *  and the key gained the media profile + override knobs. */
+constexpr const char *kCodeSalt = "asap-sim-v2";
 
 /** Age beyond which an abandoned temp file is certainly garbage (no
  *  writer holds an insert open for minutes). */
@@ -69,6 +73,11 @@ describeJob(const ExperimentJob &job)
        << "l1Sets=" << c.l1Sets << " l1Ways=" << c.l1Ways << '\n'
        << "l2Sets=" << c.l2Sets << " l2Ways=" << c.l2Ways << '\n'
        << "llcSets=" << c.llcSets << " llcWays=" << c.llcWays << '\n'
+       << "media=" << c.mediaProfile << '\n'
+       << "mediaReadLatency=" << c.mediaReadLatency << '\n'
+       << "mediaWriteLatency=" << c.mediaWriteLatency << '\n'
+       << "mediaBanks=" << c.mediaBanks << '\n'
+       << "mediaWriteGBps=" << c.mediaWriteGBps << '\n'
        << "dramLatency=" << c.dramLatency << '\n'
        << "pmReadLatency=" << c.pmReadLatency << '\n'
        << "pmWriteLatency=" << c.pmWriteLatency << '\n'
@@ -144,7 +153,15 @@ appendResultFields(std::ostringstream &os, const RunResult &r)
        << "pbOccMean " << r.pbOccMean << '\n'
        << "pbOccP99 " << r.pbOccP99 << '\n'
        << "wpqCoalesced " << r.wpqCoalesced << '\n'
-       << "suppressedWrites " << r.suppressedWrites << '\n';
+       << "suppressedWrites " << r.suppressedWrites << '\n'
+       // Whitespace-delimited format: an empty profile would leave
+       // the value slot blank and desync the reader, so stand in "-".
+       << "media " << (r.media.empty() ? "-" : r.media) << '\n'
+       << "xpHits " << r.xpHits << '\n'
+       << "xpMisses " << r.xpMisses << '\n'
+       << "mediaBytesWritten " << r.mediaBytesWritten << '\n'
+       << "mediaQueueDelayTicks " << r.mediaQueueDelayTicks << '\n'
+       << "mediaBankBusyTicks " << r.mediaBankBusyTicks << '\n';
 }
 
 } // namespace
@@ -258,6 +275,17 @@ deserializeEntry(const std::string &text, CachedResult &out,
         else if (field == "pbOccP99") is >> r.pbOccP99;
         else if (field == "wpqCoalesced") is >> r.wpqCoalesced;
         else if (field == "suppressedWrites") is >> r.suppressedWrites;
+        else if (field == "media") {
+            is >> r.media;
+            if (r.media == "-") r.media.clear();
+        }
+        else if (field == "xpHits") is >> r.xpHits;
+        else if (field == "xpMisses") is >> r.xpMisses;
+        else if (field == "mediaBytesWritten") is >> r.mediaBytesWritten;
+        else if (field == "mediaQueueDelayTicks")
+            is >> r.mediaQueueDelayTicks;
+        else if (field == "mediaBankBusyTicks")
+            is >> r.mediaBankBusyTicks;
         else if (field == "vConsistent") {
             int b = 0;
             is >> b;

@@ -156,8 +156,11 @@ reproCommand(const ExperimentJob &job)
 {
     std::ostringstream os;
     os << "build/bench/crash_campaign --repro"
-       << " --workload " << job.workload
-       << " --model " << toString(job.cfg.model)
+       << " --workload " << job.workload;
+    // Default-media repro lines stay byte-identical to pre-media ones.
+    if (job.cfg.mediaProfile != kDefaultMediaProfile)
+        os << " --media " << job.cfg.mediaProfile;
+    os << " --model " << toString(job.cfg.model)
        << " --pm " << toString(job.cfg.persistency)
        << " --cores " << job.cfg.numCores
        << " --ops " << job.params.opsPerThread

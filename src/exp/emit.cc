@@ -72,6 +72,25 @@ constexpr Field kFields[] = {
      true},
 };
 
+/** Media + XPBuffer counters: emitted only for sweeps that touch a
+ *  non-default media profile, so single-media paper-figure artifacts
+ *  keep the pre-media schema byte-for-byte. */
+constexpr Field kMediaFields[] = {
+    {"xpHits", [](const RunResult &r) { return double(r.xpHits); },
+     true},
+    {"xpMisses", [](const RunResult &r) { return double(r.xpMisses); },
+     true},
+    {"mediaBytesWritten",
+     [](const RunResult &r) { return double(r.mediaBytesWritten); },
+     true},
+    {"mediaQueueDelayTicks",
+     [](const RunResult &r) { return double(r.mediaQueueDelayTicks); },
+     true},
+    {"mediaBankBusyTicks",
+     [](const RunResult &r) { return double(r.mediaBankBusyTicks); },
+     true},
+};
+
 void
 emitValue(std::ostream &os, const Field &f, const RunResult &r)
 {
@@ -108,18 +127,28 @@ emitJson(std::ostream &os, const SweepResult &sr)
        << ", \"traceMisses\": " << sr.traceMisses
        << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
        << "  \"results\": [\n";
+    const bool media = sr.hasNonDefaultMedia();
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
         const ExperimentJob &j = sr.jobs[i];
         const RunResult &r = sr.results[i];
         os << "    {\"workload\": \"" << jsonEscape(j.workload)
            << "\", \"model\": \"" << toString(j.cfg.model)
            << "\", \"persistency\": \"" << toString(j.cfg.persistency)
-           << "\", \"cores\": " << j.cfg.numCores
-           << ", \"seed\": " << j.params.seed
+           << "\", \"cores\": " << j.cfg.numCores;
+        if (media)
+            os << ", \"media\": \"" << jsonEscape(j.cfg.mediaProfile)
+               << '"';
+        os << ", \"seed\": " << j.params.seed
            << ", \"opsPerThread\": " << j.params.opsPerThread;
         for (const Field &f : kFields) {
             os << ", \"" << f.name << "\": ";
             emitValue(os, f, r);
+        }
+        if (media) {
+            for (const Field &f : kMediaFields) {
+                os << ", \"" << f.name << "\": ";
+                emitValue(os, f, r);
+            }
         }
         // Crash jobs append the tagged verdict payload; pure-Run
         // sweeps keep the PR 1 schema byte-for-byte.
@@ -148,12 +177,21 @@ emitJson(std::ostream &os, const SweepResult &sr)
 void
 emitCsv(std::ostream &os, const SweepResult &sr)
 {
-    // Verdict columns appear only when the sweep has crash jobs, so
+    // Verdict columns appear only when the sweep has crash jobs, and
+    // media columns only when a non-default profile is present, so
     // existing Run-only artifacts keep their column set.
     const bool crash = sr.hasCrashJobs();
-    os << "workload,model,persistency,cores,seed,opsPerThread";
+    const bool media = sr.hasNonDefaultMedia();
+    os << "workload,model,persistency,cores";
+    if (media)
+        os << ",media";
+    os << ",seed,opsPerThread";
     for (const Field &f : kFields)
         os << ',' << f.name;
+    if (media) {
+        for (const Field &f : kMediaFields)
+            os << ',' << f.name;
+    }
     if (crash)
         os << ",kind,crashTick,actualTick,consistent,committedMax,"
               "storesLogged,linesSurvived,undoReplayed,adrDrainWrites,"
@@ -163,11 +201,19 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         const ExperimentJob &j = sr.jobs[i];
         const RunResult &r = sr.results[i];
         os << j.workload << ',' << toString(j.cfg.model) << ','
-           << toString(j.cfg.persistency) << ',' << j.cfg.numCores
-           << ',' << j.params.seed << ',' << j.params.opsPerThread;
+           << toString(j.cfg.persistency) << ',' << j.cfg.numCores;
+        if (media)
+            os << ',' << j.cfg.mediaProfile;
+        os << ',' << j.params.seed << ',' << j.params.opsPerThread;
         for (const Field &f : kFields) {
             os << ',';
             emitValue(os, f, r);
+        }
+        if (media) {
+            for (const Field &f : kMediaFields) {
+                os << ',';
+                emitValue(os, f, r);
+            }
         }
         if (crash) {
             const CrashVerdict &v = sr.verdicts[i];

@@ -96,6 +96,16 @@ SweepResult::hasCrashJobs() const
     return false;
 }
 
+bool
+SweepResult::hasNonDefaultMedia() const
+{
+    for (const ExperimentJob &j : jobs) {
+        if (j.cfg.mediaProfile != kDefaultMediaProfile)
+            return true;
+    }
+    return false;
+}
+
 std::vector<std::size_t>
 SweepResult::inconsistentJobs() const
 {

@@ -67,6 +67,11 @@ struct SweepResult
     /** True if any job in the sweep is a crash-injection job. */
     bool hasCrashJobs() const;
 
+    /** True if any job runs on a non-default media profile (gates the
+     *  media columns in the emitters, so single-media paper figures
+     *  keep their pre-media artifact schema byte-for-byte). */
+    bool hasNonDefaultMedia() const;
+
     /** Indices of crash jobs whose verdict is inconsistent. */
     std::vector<std::size_t> inconsistentJobs() const;
 

@@ -14,26 +14,36 @@ toString(JobKind kind)
 std::size_t
 SweepSpec::jobCount() const
 {
-    return workloads.size() * models.size() * coreCounts.size();
+    const std::size_t media =
+        mediaProfiles.empty() ? 1 : mediaProfiles.size();
+    return workloads.size() * media * models.size() * coreCounts.size();
 }
 
 std::vector<ExperimentJob>
 SweepSpec::expand() const
 {
+    // An empty media axis means "whatever the base config says" —
+    // one pass with base.mediaProfile untouched.
+    std::vector<std::string> media = mediaProfiles;
+    if (media.empty())
+        media.push_back(base.mediaProfile);
     std::vector<ExperimentJob> jobs;
     jobs.reserve(jobCount());
     for (const std::string &w : workloads) {
-        for (const ModelPair &m : models) {
-            for (unsigned cores : coreCounts) {
-                ExperimentJob job;
-                job.workload = w;
-                job.cfg = base;
-                job.cfg.model = m.first;
-                job.cfg.persistency = m.second;
-                job.cfg.numCores = cores;
-                job.cfg.seed = params.seed;
-                job.params = params;
-                jobs.push_back(std::move(job));
+        for (const std::string &profile : media) {
+            for (const ModelPair &m : models) {
+                for (unsigned cores : coreCounts) {
+                    ExperimentJob job;
+                    job.workload = w;
+                    job.cfg = base;
+                    job.cfg.mediaProfile = profile;
+                    job.cfg.model = m.first;
+                    job.cfg.persistency = m.second;
+                    job.cfg.numCores = cores;
+                    job.cfg.seed = params.seed;
+                    job.params = params;
+                    jobs.push_back(std::move(job));
+                }
             }
         }
     }

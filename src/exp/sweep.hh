@@ -58,15 +58,21 @@ struct ExperimentJob
 using ModelPair = std::pair<ModelKind, PersistencyModel>;
 
 /**
- * Declarative cross-product sweep: workloads x models x coreCounts.
+ * Declarative cross-product sweep: workloads x mediaProfiles x models
+ * x coreCounts.
  *
- * expand() emits jobs workload-major (all models and core counts of
- * the first workload, then the second, ...), models next, core counts
- * innermost — the iteration order of the paper's figure tables.
+ * expand() emits jobs workload-major (all media profiles, models and
+ * core counts of the first workload, then the second, ...), media
+ * profiles next, then models, core counts innermost — the iteration
+ * order of the paper's figure tables.
  */
 struct SweepSpec
 {
     std::vector<std::string> workloads;
+    /** Media profiles (src/media/) to sweep; empty = just
+     *  base.mediaProfile, which leaves single-media sweeps (all the
+     *  paper figures) byte-identical to the pre-media engine. */
+    std::vector<std::string> mediaProfiles;
     std::vector<ModelPair> models;
     std::vector<unsigned> coreCounts = {4};
     WorkloadParams params;

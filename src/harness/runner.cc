@@ -105,6 +105,7 @@ extractResult(System &sys, const std::string &workload,
     r.model = cfg.model;
     r.persistency = cfg.persistency;
     r.cores = cfg.numCores;
+    r.media = cfg.mediaProfile;
     r.runTicks = sys.runTicks();
     r.pmWrites = s.get("mc.pmWrites");
     r.pmReads = s.get("mc.pmReads");
@@ -122,6 +123,11 @@ extractResult(System &sys, const std::string &workload,
     r.rtMaxOccupancy = s.get("rt.maxOccupancy");
     r.wpqCoalesced = s.get("mc.wpqCoalesced");
     r.suppressedWrites = s.get("mc.suppressedWrites");
+    r.xpHits = s.get("mc.xpHits");
+    r.xpMisses = s.get("mc.xpMisses");
+    r.mediaBytesWritten = s.get("mc.bytesWritten");
+    r.mediaQueueDelayTicks = s.get("mc.bwQueueDelayTicks");
+    r.mediaBankBusyTicks = s.get("mc.bankBusyTicks");
     if (s.hasDist("pb.occupancy")) {
         r.pbOccMean = s.dist("pb.occupancy").mean();
         r.pbOccP99 = s.dist("pb.occupancy").percentile(99.0);

@@ -28,6 +28,7 @@ struct RunResult
     ModelKind model;
     PersistencyModel persistency;
     unsigned cores = 0;
+    std::string media;               //!< media profile the run used
 
     std::uint64_t runTicks = 0;      //!< execution time (cycles)
     std::uint64_t pmWrites = 0;      //!< media writes (Figure 9)
@@ -48,6 +49,11 @@ struct RunResult
     std::uint64_t pbOccP99 = 0;        //!< Figure 11
     std::uint64_t wpqCoalesced = 0;
     std::uint64_t suppressedWrites = 0;
+    std::uint64_t xpHits = 0;          //!< XPBuffer undo-read hits
+    std::uint64_t xpMisses = 0;        //!< XPBuffer undo-read misses
+    std::uint64_t mediaBytesWritten = 0;      //!< timed media writes
+    std::uint64_t mediaQueueDelayTicks = 0;   //!< bandwidth-cap queueing
+    std::uint64_t mediaBankBusyTicks = 0;     //!< summed bank occupancy
 
     /** Per-core cycles, for normalising blocked/stall percentages. */
     std::uint64_t totalCoreCycles() const { return runTicks * cores; }

@@ -20,7 +20,8 @@ MemoryController::MemoryController(unsigned id, const SimConfig &cfg,
                                    EventQueue &eq, NvmContents &media,
                                    StatSet &stats)
     : id_(id), cfg(cfg), eq(eq), media(media), stats(stats),
-      wpq(cfg.wpqEntries), xpBuffer(cfg.xpBufferLines),
+      mediaModel_(makeMediaModel(cfg)), wpq(cfg.wpqEntries),
+      xpBuffer(cfg.xpBufferLines),
       statPrefix("mc" + std::to_string(id) + ".")
 {
 }
@@ -87,10 +88,18 @@ MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
         // lengthens that entry's media service time. It is cheap when
         // the line is WPQ-pending or hot in the XPBuffer, a full
         // media read otherwise.
-        const bool fast = wpq.contains(pkt.line) || xpBuffer.hit(pkt.line);
-        const Tick readLat =
-            fast ? cfg.xpBufferHitLatency : cfg.pmReadLatency;
+        const bool wpqHit = wpq.contains(pkt.line);
+        const bool xpHit = !wpqHit && xpBuffer.hit(pkt.line);
+        const bool fast = wpqHit || xpHit;
+        const Tick readLat = fast ? mediaModel_->hitLatency()
+                                  : mediaModel_->readLatency();
         statInc("undoReads");
+        // XPBuffer hit/miss accounting: a WPQ-pending line never
+        // reaches the XPBuffer lookup, so only genuine probes count.
+        if (xpHit)
+            statInc("xpHits");
+        else if (!wpqHit)
+            statInc("xpMisses");
         if (!fast)
             statInc("pmReads");
         xpBuffer.touch(pkt.line);
@@ -167,7 +176,7 @@ MemoryController::enqueueWrite(std::uint64_t line, std::uint64_t value,
 void
 MemoryController::tryIssueBanks()
 {
-    while (busyBanks < cfg.nvmBanks && !wpq.empty()) {
+    while (busyBanks < mediaModel_->banks() && !wpq.empty()) {
         auto [line, value, extra, inserted] = wpq.front();
         // Write-combining window: a young entry waits (unless the
         // queue is under pressure) so same-line writes coalesce; the
@@ -195,13 +204,19 @@ MemoryController::tryIssueBanks()
         // the media even on a power failure (ADR).
         media.write(line, value);
         xpBuffer.touch(line);
+        const MediaModel::WriteGrant grant =
+            mediaModel_->startWrite(eq.now(), lineBytes);
         statInc("pmWrites");
+        statInc("bytesWritten", lineBytes);
+        statInc("bankBusyTicks", grant.serviceLatency);
+        if (grant.queueDelay != 0)
+            statInc("bwQueueDelayTicks", grant.queueDelay);
         // The undo-snapshot read (extra) is served by the separate
         // read path whose bandwidth far exceeds write bandwidth
         // (Section V-A), so it does not extend the write bank's
         // occupancy; it is accounted in the pmReads statistics.
         (void)extra;
-        eq.scheduleAfter(cfg.pmWriteLatency, [this]() {
+        eq.scheduleAfter(grant.serviceLatency, [this]() {
             if (crashed)
                 return;
             --busyBanks;

@@ -3,11 +3,13 @@
  * NVM memory controller timing model.
  *
  * Each controller owns a Write Pending Queue (inside the ADR
- * persistence domain), a set of media banks that drain it with the
- * paper's 90 ns write latency, an XPBuffer-style recency cache that
- * accelerates undo-snapshot reads, and optionally a RecoveryPolicy
- * (ASAP's Recovery Table). The controller is entirely event driven;
- * back-pressure emerges from the WPQ filling up, which delays flush
+ * persistence domain), a MediaModel (src/media/) whose banks drain it
+ * with the selected profile's write service latency and bandwidth
+ * cap, an XPBuffer-style recency cache that accelerates undo-snapshot
+ * reads, and optionally a RecoveryPolicy (ASAP's Recovery Table). The
+ * controller is entirely event driven; back-pressure emerges from the
+ * WPQ filling up (amplified on bandwidth-capped media by the queueing
+ * delay that extends bank occupancy), which delays flush
  * acknowledgements and in turn throttles the persist buffers.
  */
 
@@ -19,6 +21,9 @@
 #include <functional>
 #include <string>
 
+#include <memory>
+
+#include "media/media.hh"
 #include "mem/nvm_contents.hh"
 #include "mem/packets.hh"
 #include "mem/recovery_policy.hh"
@@ -77,6 +82,9 @@ class MemoryController
     /** Recovery-policy occupancy (0 when no policy attached). */
     std::size_t rtOccupancy() const;
 
+    /** The media backend this controller drains into. */
+    const MediaModel &mediaModel() const { return *mediaModel_; }
+
     unsigned id() const { return id_; }
 
   private:
@@ -99,6 +107,7 @@ class MemoryController
     NvmContents &media;
     StatSet &stats;
     RecoveryPolicy *policy_ = nullptr;
+    std::unique_ptr<MediaModel> mediaModel_; //!< per-MC timing + bw cap
 
     Wpq wpq;
     XpBuffer xpBuffer;

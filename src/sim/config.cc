@@ -63,7 +63,13 @@ SimConfig::override(const std::string &assignment)
         return std::strtoull(val.c_str(), nullptr, 0);
     };
 
-    if (key == "numCores") numCores = as_u64();
+    if (key == "media" || key == "mediaProfile") mediaProfile = val;
+    else if (key == "mediaReadLatency") mediaReadLatency = as_u64();
+    else if (key == "mediaWriteLatency") mediaWriteLatency = as_u64();
+    else if (key == "mediaBanks") mediaBanks = as_u64();
+    else if (key == "mediaWriteGBps")
+        mediaWriteGBps = std::strtod(val.c_str(), nullptr);
+    else if (key == "numCores") numCores = as_u64();
     else if (key == "numMCs") numMCs = as_u64();
     else if (key == "model") model = parseModelKind(val);
     else if (key == "persistency") persistency = parsePersistencyModel(val);

@@ -21,6 +21,10 @@
 namespace asap
 {
 
+/** The media profile that reproduces the seed's Table II constants
+ *  (the default of SimConfig::mediaProfile; see src/media/). */
+inline constexpr const char *kDefaultMediaProfile = "paper-table2";
+
 /** Which persistence hardware model a run simulates. */
 enum class ModelKind
 {
@@ -66,6 +70,21 @@ struct SimConfig
     unsigned l1Sets = 64, l1Ways = 8;         //!< 64 * 8 * 64 B = 32 kB
     unsigned l2Sets = 4096, l2Ways = 8;       //!< 4096 * 8 * 64 B = 2 MB
     unsigned llcSets = 16384, llcWays = 16;   //!< 16384 * 16 * 64 B = 16 MB
+
+    // --- NVM media backend ----------------------------------------------
+    /**
+     * Named media profile (see src/media/). The default,
+     * kDefaultMediaProfile, reproduces the Table II constants below;
+     * other profiles (dram, optane-dcpmm, cxl-dram, cxl-flash,
+     * slow-nvm) own their timing and ignore the legacy knobs.
+     */
+    std::string mediaProfile = kDefaultMediaProfile;
+    /** Per-profile parameter overrides; 0 (or negative for the
+     *  bandwidth cap) means "use the profile's value". */
+    Tick mediaReadLatency = 0;    //!< override media read service
+    Tick mediaWriteLatency = 0;   //!< override media write service
+    unsigned mediaBanks = 0;      //!< override per-MC bank count
+    double mediaWriteGBps = -1.0; //!< override write cap (0 = uncap)
 
     // --- NVM / memory controller ----------------------------------------
     Tick dramLatency = nsToTicks(80);     //!< volatile DRAM fill latency

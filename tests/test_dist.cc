@@ -270,12 +270,12 @@ TEST(Manifest, RejectsDamagedText)
     EXPECT_NE(why.find("truncated"), std::string::npos);
 
     std::string wrongVersion = good;
-    wrongVersion.replace(wrongVersion.find("manifest 1"), 10,
+    wrongVersion.replace(wrongVersion.find("manifest 2"), 10,
                          "manifest 9");
     EXPECT_FALSE(deserializeManifest(wrongVersion, out, &why));
     EXPECT_NE(why.find("version"), std::string::npos);
 
-    EXPECT_FALSE(deserializeManifest("manifest 1\nbogus 3\nend 1\n",
+    EXPECT_FALSE(deserializeManifest("manifest 2\nbogus 3\nend 1\n",
                                      out, &why));
     EXPECT_NE(why.find("unknown field"), std::string::npos);
 }

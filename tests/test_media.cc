@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the pluggable media-model subsystem (src/media/):
+ * profile registry, parameter resolution and overrides, the
+ * bandwidth-cap queueing model, byte-identity of the default
+ * `paper-table2` profile against seed-captured figure CSV rows,
+ * cache-key separation between profiles, deterministic parallel
+ * media sweeps, manifest round-trips and crash consistency on
+ * non-default media.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/cache.hh"
+#include "exp/crash_campaign.hh"
+#include "exp/emit.hh"
+#include "exp/engine.hh"
+#include "exp/sweep.hh"
+#include "dist/manifest.hh"
+#include "media/media.hh"
+#include "sim/log.hh"
+
+namespace asap
+{
+namespace
+{
+
+WorkloadParams
+params30()
+{
+    WorkloadParams p;
+    p.opsPerThread = 30;
+    p.seed = 1;
+    return p;
+}
+
+class MediaTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+};
+
+TEST_F(MediaTest, RegistryListsAllProfilesAndResolvesEach)
+{
+    const std::vector<MediaProfileInfo> &profiles = allMediaProfiles();
+    ASSERT_GE(profiles.size(), 6u);
+    EXPECT_EQ(profiles.front().name, std::string(kDefaultMediaProfile));
+    for (const MediaProfileInfo &info : profiles) {
+        EXPECT_TRUE(isMediaProfile(info.name)) << info.name;
+        EXPECT_FALSE(info.description.empty()) << info.name;
+        SimConfig cfg;
+        cfg.mediaProfile = info.name;
+        const MediaParams p = resolveMediaParams(cfg);
+        EXPECT_EQ(p.profile, info.name);
+        EXPECT_GT(p.readLatency, 0u) << info.name;
+        EXPECT_GT(p.writeLatency, 0u) << info.name;
+        EXPECT_GT(p.banks, 0u) << info.name;
+        EXPECT_GE(p.writeGBps, 0.0) << info.name;
+    }
+    EXPECT_FALSE(isMediaProfile("no-such-media"));
+}
+
+TEST_F(MediaTest, PaperProfileTracksLegacyKnobs)
+{
+    SimConfig cfg;
+    cfg.pmReadLatency = 1234;
+    cfg.pmWriteLatency = 567;
+    cfg.nvmBanks = 24;
+    cfg.xpBufferHitLatency = 21;
+    cfg.dramLatency = 99;
+    const MediaParams p = resolveMediaParams(cfg);
+    EXPECT_EQ(p.readLatency, 1234u);
+    EXPECT_EQ(p.writeLatency, 567u);
+    EXPECT_EQ(p.banks, 24u);
+    EXPECT_EQ(p.hitLatency, 21u);
+    EXPECT_EQ(p.dramFillLatency, 99u);
+    EXPECT_DOUBLE_EQ(p.writeGBps, 0.0); // uncapped, as in the seed
+}
+
+TEST_F(MediaTest, MediaOverridesBeatProfileDefaults)
+{
+    SimConfig cfg;
+    cfg.mediaProfile = "slow-nvm";
+    cfg.mediaReadLatency = 42;
+    cfg.mediaBanks = 7;
+    cfg.mediaWriteGBps = 0.0; // explicit uncap
+    const MediaParams p = resolveMediaParams(cfg);
+    EXPECT_EQ(p.readLatency, 42u);
+    EXPECT_EQ(p.banks, 7u);
+    EXPECT_DOUBLE_EQ(p.writeGBps, 0.0);
+    // Untouched fields keep the profile's values.
+    EXPECT_EQ(p.writeLatency, nsToTicks(600));
+}
+
+TEST_F(MediaTest, ConfigOverrideStringsReachMediaKnobs)
+{
+    SimConfig cfg;
+    cfg.override("media=cxl-flash");
+    EXPECT_EQ(cfg.mediaProfile, "cxl-flash");
+    cfg.override("mediaWriteLatency=777");
+    EXPECT_EQ(cfg.mediaWriteLatency, 777u);
+    cfg.override("mediaWriteGBps=2.5");
+    EXPECT_DOUBLE_EQ(cfg.mediaWriteGBps, 2.5);
+}
+
+TEST_F(MediaTest, BandwidthCapQueuesWrites)
+{
+    // slow-nvm: 1 GB/s cap at 2 GHz = 2 cycles/byte, so one 64 B
+    // line occupies the media pipeline for 128 cycles.
+    SimConfig cfg;
+    cfg.mediaProfile = "slow-nvm";
+    std::unique_ptr<MediaModel> m = makeMediaModel(cfg);
+    const Tick service = m->params().writeLatency;
+
+    const MediaModel::WriteGrant g0 = m->startWrite(0, 64);
+    EXPECT_EQ(g0.queueDelay, 0u);
+    EXPECT_EQ(g0.serviceLatency, service);
+
+    // Issued at the same instant: waits for the first line's slot.
+    const MediaModel::WriteGrant g1 = m->startWrite(0, 64);
+    EXPECT_EQ(g1.queueDelay, 128u);
+    EXPECT_EQ(g1.serviceLatency, service + 128);
+
+    // Issued after the pipeline drained: no delay again.
+    const MediaModel::WriteGrant g2 = m->startWrite(1000, 64);
+    EXPECT_EQ(g2.queueDelay, 0u);
+    EXPECT_EQ(g2.serviceLatency, service);
+}
+
+TEST_F(MediaTest, UncappedProfileNeverQueues)
+{
+    SimConfig cfg; // paper-table2: no cap
+    std::unique_ptr<MediaModel> m = makeMediaModel(cfg);
+    for (Tick t = 0; t < 4; ++t) {
+        const MediaModel::WriteGrant g = m->startWrite(0, 64);
+        EXPECT_EQ(g.queueDelay, 0u);
+        EXPECT_EQ(g.serviceLatency, cfg.pmWriteLatency);
+    }
+}
+
+/**
+ * Byte-identity of the default profile: these rows were captured from
+ * the pre-media seed's fig02/fig08 CSV artifacts (`--ops 30`,
+ * seed 1). The media subsystem must reproduce them exactly — schema
+ * included (no media columns on a default-profile sweep).
+ */
+TEST_F(MediaTest, PaperProfileByteIdenticalToSeedFigureRows)
+{
+    SweepSpec spec;
+    spec.workloads = {"echo", "cceh"};
+    spec.models = {{ModelKind::Baseline, PersistencyModel::Release},
+                   {ModelKind::Hops, PersistencyModel::Release},
+                   {ModelKind::Asap, PersistencyModel::Release}};
+    spec.params = params30();
+
+    ResultCache cache;
+    RunOptions opt;
+    opt.cache = &cache;
+    const SweepResult sr = runSweep(spec, opt);
+
+    std::ostringstream csv;
+    emitCsv(csv, sr);
+    const std::string expected =
+        "workload,model,persistency,cores,seed,opsPerThread,runTicks,"
+        "pmWrites,pmReads,cyclesBlocked,cyclesStalled,dfenceStalled,"
+        "sfenceStalled,entriesInserted,epochs,crossDeps,totSpecWrites,"
+        "totalUndo,totalDelay,nacks,rtMaxOccupancy,pbOccMean,pbOccP99,"
+        "wpqCoalesced,suppressedWrites\n"
+        // seed fig08.csv rows (baseline/HOPS), seed fig02.csv (ASAP)
+        "echo,baseline,rp,4,1,30,26149,298,0,0,0,0,30720,0,0,0,0,0,0,"
+        "0,0,0,0,0,0\n"
+        "echo,hops,rp,4,1,30,18465,298,0,16108,0,1008,0,409,412,48,0,"
+        "0,0,0,0,0.841653,3,111,0\n"
+        "echo,asap,rp,4,1,30,18465,300,172,0,0,1008,0,418,412,48,172,"
+        "172,0,0,5,0.67028,3,118,0\n"
+        "cceh,baseline,rp,4,1,30,90986,110,0,0,0,0,14080,0,0,0,0,0,0,"
+        "0,0,0,0,0,0\n"
+        "cceh,hops,rp,4,1,30,89176,109,0,24676,0,6138,0,148,319,95,0,"
+        "0,0,0,0,0.106249,2,39,0\n"
+        "cceh,asap,rp,4,1,30,87376,110,32,0,0,1108,0,220,319,95,52,"
+        "47,5,0,3,0.042243,1,110,0\n";
+    EXPECT_EQ(csv.str(), expected);
+}
+
+TEST_F(MediaTest, DistinctProfilesYieldDistinctJobKeys)
+{
+    std::vector<std::string> keys;
+    for (const MediaProfileInfo &info : allMediaProfiles()) {
+        ExperimentJob job;
+        job.workload = "queue";
+        job.cfg.mediaProfile = info.name;
+        job.params = params30();
+        keys.push_back(jobKey(job));
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j])
+                << allMediaProfiles()[i].name << " aliases "
+                << allMediaProfiles()[j].name;
+    }
+    // Overrides reach the key too.
+    ExperimentJob job;
+    job.workload = "queue";
+    job.params = params30();
+    const std::string base = jobKey(job);
+    job.cfg.mediaWriteGBps = 3.0;
+    EXPECT_NE(jobKey(job), base);
+}
+
+TEST_F(MediaTest, TwoProfileSweepDeterministicAcrossJobCounts)
+{
+    SweepSpec spec;
+    spec.workloads = {"queue", "echo"};
+    spec.mediaProfiles = {kDefaultMediaProfile, "slow-nvm"};
+    spec.models = {{ModelKind::Asap, PersistencyModel::Release}};
+    spec.params = params30();
+    ASSERT_EQ(spec.jobCount(), 4u);
+
+    ResultCache serialCache, parallelCache;
+    RunOptions serial;
+    serial.jobs = 1;
+    serial.cache = &serialCache;
+    RunOptions parallel;
+    parallel.jobs = 8;
+    parallel.cache = &parallelCache;
+
+    const SweepResult s = runSweep(spec, serial);
+    const SweepResult p = runSweep(spec, parallel);
+    ASSERT_EQ(s.results.size(), p.results.size());
+    for (std::size_t i = 0; i < s.results.size(); ++i) {
+        EXPECT_EQ(s.at(i).media, p.at(i).media);
+        EXPECT_EQ(s.at(i).runTicks, p.at(i).runTicks);
+        EXPECT_EQ(s.at(i).pmWrites, p.at(i).pmWrites);
+        EXPECT_EQ(s.at(i).mediaBytesWritten, p.at(i).mediaBytesWritten);
+        EXPECT_EQ(s.at(i).mediaQueueDelayTicks,
+                  p.at(i).mediaQueueDelayTicks);
+        EXPECT_EQ(s.at(i).mediaBankBusyTicks,
+                  p.at(i).mediaBankBusyTicks);
+        EXPECT_EQ(s.at(i).xpHits, p.at(i).xpHits);
+        EXPECT_EQ(s.at(i).xpMisses, p.at(i).xpMisses);
+    }
+
+    // The media actually matters: the bandwidth-starved profile is
+    // slower than the paper's on the write-heavy queue workload, and
+    // only media columns distinguish the two — same workload, model
+    // and cores.
+    EXPECT_EQ(s.at(0).media, std::string(kDefaultMediaProfile));
+    EXPECT_EQ(s.at(1).media, "slow-nvm");
+    EXPECT_NE(s.at(0).runTicks, s.at(1).runTicks);
+}
+
+TEST_F(MediaTest, MediaColumnsAppearOnlyWithNonDefaultProfiles)
+{
+    SweepSpec spec;
+    spec.workloads = {"queue"};
+    spec.models = {{ModelKind::Asap, PersistencyModel::Release}};
+    spec.params = params30();
+
+    ResultCache cache;
+    RunOptions opt;
+    opt.cache = &cache;
+
+    const SweepResult plain = runSweep(spec, opt);
+    EXPECT_FALSE(plain.hasNonDefaultMedia());
+    std::ostringstream plainCsv, plainJson;
+    emitCsv(plainCsv, plain);
+    emitJson(plainJson, plain);
+    EXPECT_EQ(plainCsv.str().find("media"), std::string::npos);
+    EXPECT_EQ(plainJson.str().find("\"media\""), std::string::npos);
+
+    spec.mediaProfiles = {kDefaultMediaProfile, "dram"};
+    const SweepResult mixed = runSweep(spec, opt);
+    EXPECT_TRUE(mixed.hasNonDefaultMedia());
+    std::ostringstream mixedCsv, mixedJson;
+    emitCsv(mixedCsv, mixed);
+    emitJson(mixedJson, mixed);
+    EXPECT_NE(mixedCsv.str().find(",media,"), std::string::npos);
+    EXPECT_NE(mixedCsv.str().find("mediaBytesWritten"),
+              std::string::npos);
+    EXPECT_NE(mixedJson.str().find("\"media\": \"dram\""),
+              std::string::npos);
+    EXPECT_NE(mixedJson.str().find("\"mediaQueueDelayTicks\""),
+              std::string::npos);
+}
+
+TEST_F(MediaTest, CacheEntrySurvivesMediaFieldsRoundTrip)
+{
+    RunResult r;
+    r.workload = "queue";
+    r.model = ModelKind::Asap;
+    r.persistency = PersistencyModel::Release;
+    r.cores = 4;
+    r.media = "cxl-flash";
+    r.runTicks = 123456;
+    r.xpHits = 17;
+    r.xpMisses = 4;
+    r.mediaBytesWritten = 8192;
+    r.mediaQueueDelayTicks = 999;
+    r.mediaBankBusyTicks = 31337;
+
+    RunResult back;
+    ASSERT_TRUE(deserializeResult(serializeResult(r), back));
+    EXPECT_EQ(back.media, r.media);
+    EXPECT_EQ(back.xpHits, r.xpHits);
+    EXPECT_EQ(back.xpMisses, r.xpMisses);
+    EXPECT_EQ(back.mediaBytesWritten, r.mediaBytesWritten);
+    EXPECT_EQ(back.mediaQueueDelayTicks, r.mediaQueueDelayTicks);
+    EXPECT_EQ(back.mediaBankBusyTicks, r.mediaBankBusyTicks);
+}
+
+TEST_F(MediaTest, ManifestJobCarriesMediaProfile)
+{
+    ExperimentJob job;
+    job.workload = "cceh";
+    job.cfg.mediaProfile = "optane-dcpmm";
+    job.cfg.model = ModelKind::Asap;
+    job.params = params30();
+
+    const ManifestJob mj = toManifestJob(job, jobKey(job));
+    EXPECT_EQ(mj.media, "optane-dcpmm");
+
+    ShardManifest m;
+    m.shard.index = 0;
+    m.shard.count = 1;
+    m.sweep = "cafebabe";
+    m.jobs.push_back(mj);
+    ShardManifest back;
+    std::string why;
+    ASSERT_TRUE(deserializeManifest(serializeManifest(m), back, &why))
+        << why;
+    ASSERT_EQ(back.jobs.size(), 1u);
+    EXPECT_EQ(back.jobs[0].media, "optane-dcpmm");
+    EXPECT_EQ(toExperimentJob(back.jobs[0]).cfg.mediaProfile,
+              "optane-dcpmm");
+}
+
+TEST_F(MediaTest, CrashCampaignConsistentOnNonDefaultMedia)
+{
+    CampaignSpec spec;
+    spec.workloads = {"queue"};
+    spec.models = {{ModelKind::Asap, PersistencyModel::Release}};
+    spec.params = params30();
+    spec.ticksPerConfig = 8;
+    spec.base.mediaProfile = "cxl-flash";
+
+    ResultCache cache;
+    RunOptions opt;
+    opt.jobs = 2;
+    opt.cache = &cache;
+    const CampaignResult cr = runCampaign(spec, opt);
+    EXPECT_EQ(cr.crashPoints(), 8u);
+    EXPECT_TRUE(cr.allConsistent());
+    for (const ExperimentJob &j : cr.sweep.jobs)
+        EXPECT_EQ(j.cfg.mediaProfile, "cxl-flash");
+    // Non-default media shows up in the repro line.
+    ASSERT_FALSE(cr.sweep.jobs.empty());
+    EXPECT_NE(reproCommand(cr.sweep.jobs.front())
+                  .find("--media cxl-flash"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace asap
