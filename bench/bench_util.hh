@@ -10,6 +10,7 @@
  *   --jobs N       parallel simulations (default: hardware threads)
  *   --json PATH    write the sweep's raw results as JSON (.csv: CSV)
  *   --progress     rate-limited progress/ETA lines on stderr
+ *   --profile      host-time phase breakdown on stderr after the run
  *   --list-media   print the media-profile registry and exit
  *   --list-workloads  print the workload registry and exit
  *   --shard i/n    run only shard i of n (requires ASAP_CACHE_DIR);
@@ -59,6 +60,7 @@ struct BenchArgs
     unsigned jobs = 0;    //!< sweep workers; 0 = hardware default
     std::string jsonPath; //!< empty = no artifact
     bool progress = false; //!< stderr progress/ETA lines
+    bool profile = false;  //!< stderr host-time phase breakdown
 
     bool sharded = false; //!< --shard given: distributed mode
     ShardSpec shard;      //!< which slice (with --salt folded in)
@@ -107,6 +109,8 @@ struct BenchArgs
                 a.jsonPath = argv[++i];
             } else if (!std::strcmp(argv[i], "--progress")) {
                 a.progress = true;
+            } else if (!std::strcmp(argv[i], "--profile")) {
+                a.profile = true;
             } else if (!std::strcmp(argv[i], "--shard") &&
                        i + 1 < argc) {
                 const std::string salt = a.shard.salt; // keep --salt
@@ -125,7 +129,7 @@ struct BenchArgs
                 std::fprintf(stderr,
                              "usage: %s [--ops N] [--seed S] "
                              "[--workload W] [--media P] [--jobs N] "
-                             "[--json PATH] [--progress] "
+                             "[--json PATH] [--progress] [--profile] "
                              "[--list-media] [--list-workloads] "
                              "[--shard i/n [--claim] [--salt S] "
                              "[--lease-ttl SEC]]\n", argv[0]);
@@ -224,6 +228,23 @@ amean(const std::vector<double> &xs)
  * deterministic (unlike wall-clock, which only goes to stderr), so
  * stdout stays byte-identical across --jobs settings.
  */
+/**
+ * Print the process-wide host-time phase breakdown on stderr.
+ * Wall-clock is non-deterministic, so none of this may reach stdout.
+ */
+inline void
+printHostProfile()
+{
+    const HostProfile hp = hostProfile();
+    auto sec = [](std::uint64_t ns) { return 1e-9 * double(ns); };
+    std::fprintf(stderr,
+                 "[profile] trace-gen %.3fs  trace-load %.3fs  "
+                 "simulate %.3fs  check %.3fs  (%llu sim runs)\n",
+                 sec(hp.traceGenNs), sec(hp.traceLoadNs),
+                 sec(hp.simulateNs), sec(hp.checkNs),
+                 static_cast<unsigned long long>(hp.simRuns));
+}
+
 inline void
 finishSweep(const BenchArgs &args, const SweepResult &sr)
 {
@@ -235,7 +256,14 @@ finishSweep(const BenchArgs &args, const SweepResult &sr)
     std::printf("[sweep: %zu jobs, %zu simulated, %llu cache hits]\n",
                 sr.jobs.size(), sr.uniqueRuns,
                 static_cast<unsigned long long>(sr.cacheHits));
-    std::fprintf(stderr, "sweep wall-clock: %.2fs\n", sr.wallSeconds);
+    // Disk-trace replays vary with ASAP_TRACE_DIR warmth, so they are
+    // stderr-only (the JSON header carries them deterministically per
+    // invocation).
+    std::fprintf(stderr, "sweep wall-clock: %.2fs (%llu disk-trace "
+                 "replays)\n", sr.wallSeconds,
+                 static_cast<unsigned long long>(sr.traceDiskHits));
+    if (args.profile)
+        printHostProfile();
 }
 
 /**
@@ -262,6 +290,8 @@ maybeRunShard(const BenchArgs &args,
     std::printf("[merge: build/bench/sweep_merge --cache-dir %s "
                 "--sweep %s]\n",
                 processCache().diskDir().c_str(), m.sweep.c_str());
+    if (args.profile)
+        printHostProfile();
     return true;
 }
 

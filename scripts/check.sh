@@ -82,4 +82,25 @@ grep -q 'duplicate simulations: 0' "$TMP/media_merge.txt"
 grep -q '^workload,.*,media,' "$TMP/media_merged.csv"
 grep -q ',slow-nvm,' "$TMP/media_merged.csv"
 
-echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge and media sweep all passed"
+# Trace record/replay smoke check: cold run records TraceSets in the
+# shared directory, warm run replays them (table byte-identical, every
+# generation skipped — the JSON header counts the disk replays). The
+# trace dir is also safe under --shard, exercised above for results;
+# small ops keep this TSan-compatible.
+export ASAP_TRACE_DIR="$TMP/traces"
+"$BUILD/bench/fig02_epochs" --jobs 2 --ops 40 \
+    > "$TMP/trace_cold.txt"
+"$BUILD/bench/fig02_epochs" --jobs 2 --ops 40 \
+    --json "$TMP/trace_warm.json" > "$TMP/trace_warm.txt"
+unset ASAP_TRACE_DIR
+diff "$TMP/trace_cold.txt" "$TMP/trace_warm.txt"
+grep -q '"traceMisses": 0' "$TMP/trace_warm.json"
+grep -qE '"traceDiskHits": [1-9]' "$TMP/trace_warm.json"
+
+# Kernel-throughput smoke: the bench must run and emit its artifact;
+# the events/sec numbers are hardware-dependent and non-gating.
+"$BUILD/bench/kernel_bench" --ops 60 --reps 1 \
+    --json "$TMP/kernel.json" > /dev/null
+grep -q '"kernel-chain"' "$TMP/kernel.json"
+
+echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay and kernel bench all passed"

@@ -7,7 +7,15 @@ namespace asap
 
 CacheHierarchy::CacheHierarchy(const SimConfig &cfg, StatSet &stats)
     : cfg(cfg), stats(stats), mediaParams_(resolveMediaParams(cfg)),
-      llc(cfg.llcSets, cfg.llcWays)
+      llc(cfg.llcSets, cfg.llcWays),
+      stConflictTransfers(&stats.counter("cache.conflictTransfers")),
+      stL1Hits(&stats.counter("cache.l1Hits")),
+      stL2Hits(&stats.counter("cache.l2Hits")),
+      stLlcHits(&stats.counter("cache.llcHits")),
+      stPmFills(&stats.counter("cache.pmFills")),
+      stDramFills(&stats.counter("cache.dramFills")),
+      stLlcEvictDelayed(&stats.counter("cache.llcEvictDelayed")),
+      stLlcDirtyEvicts(&stats.counter("cache.llcDirtyEvicts"))
 {
     privs.reserve(cfg.numCores);
     for (unsigned i = 0; i < cfg.numCores; ++i)
@@ -41,7 +49,7 @@ CacheHierarchy::access(std::uint16_t thread, std::uint64_t line,
             privs[res.srcThread]->l1.invalidate(line);
             privs[res.srcThread]->l2.invalidate(line);
         }
-        stats.inc("cache.conflictTransfers");
+        ++*stConflictTransfers;
     }
 
     if (is_write) {
@@ -55,17 +63,17 @@ CacheHierarchy::access(std::uint16_t thread, std::uint64_t line,
     if (!res.conflict) {
         if (pc.l1.access(line, is_write)) {
             res.latency = cfg.l1Latency;
-            stats.inc("cache.l1Hits");
+            ++*stL1Hits;
         } else if (pc.l2.access(line, is_write)) {
             res.latency = cfg.l2Latency;
-            stats.inc("cache.l2Hits");
+            ++*stL2Hits;
         } else if (llc.access(line, is_write)) {
             res.latency = cfg.llcLatency;
-            stats.inc("cache.llcHits");
+            ++*stLlcHits;
         } else {
             res.latency = is_pm ? mediaParams_.readLatency
                                 : mediaParams_.dramFillLatency;
-            stats.inc(is_pm ? "cache.pmFills" : "cache.dramFills");
+            ++*(is_pm ? stPmFills : stDramFills);
         }
     }
 
@@ -81,11 +89,11 @@ CacheHierarchy::access(std::uint16_t thread, std::uint64_t line,
             // through the persist buffers, not cache write-back. The
             // Bloom filter may ask us to hold the line briefly.
             if (evictFilter && evictFilter(v.line)) {
-                stats.inc("cache.llcEvictDelayed");
+                ++*stLlcEvictDelayed;
             }
             res.llcPmEvict = true;
             res.evictedLine = v.line;
-            stats.inc("cache.llcDirtyEvicts");
+            ++*stLlcDirtyEvicts;
         }
     }
 

@@ -101,6 +101,16 @@ class CacheHierarchy
     std::unordered_map<std::uint64_t, DirEntry> directory;
 
     EvictFilter evictFilter;
+
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stConflictTransfers;
+    std::uint64_t *stL1Hits;
+    std::uint64_t *stL2Hits;
+    std::uint64_t *stLlcHits;
+    std::uint64_t *stPmFills;
+    std::uint64_t *stDramFills;
+    std::uint64_t *stLlcEvictDelayed;
+    std::uint64_t *stLlcDirtyEvicts;
 };
 
 } // namespace asap

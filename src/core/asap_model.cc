@@ -11,7 +11,12 @@ namespace asap
 AsapModel::AsapModel(std::uint16_t thread, ModelContext &ctx)
     : PersistModel(thread, ctx),
       et(thread, ctx.cfg.etEntries, ctx.stats),
-      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs)
+      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs),
+      stConservativeFallbacks(
+          &ctx.stats.counter("asap.conservativeFallbacks")),
+      stDfenceStalled(&ctx.stats.counter("core.dfenceStalled")),
+      stCommitMessages(&ctx.stats.counter("asap.commitMessages")),
+      stCdrMessages(&ctx.stats.counter("asap.cdrMessages"))
 {
     et.setCommittableHook([this](std::uint64_t ts) { onCommittable(ts); });
     pb.configure(
@@ -27,7 +32,7 @@ AsapModel::AsapModel(std::uint16_t thread, ModelContext &ctx)
             // epoch commits (Section V-D).
             if (epoch > conservativeUntil)
                 conservativeUntil = epoch;
-            this->ctx.stats.inc("asap.conservativeFallbacks");
+            ++*stConservativeFallbacks;
         });
 }
 
@@ -65,7 +70,7 @@ AsapModel::dfence(Callback done)
     et.closeEpoch(false, [this, start, done = std::move(done)]() {
         pb.kick();
         et.waitAllCommitted([this, start, done]() {
-            ctx.stats.inc("core.dfenceStalled", ctx.eq.now() - start);
+            *stDfenceStalled += ctx.eq.now() - start;
             done();
         });
     });
@@ -163,7 +168,7 @@ AsapModel::onCommittable(std::uint64_t ts)
     for (unsigned mc = 0; mc < ctx.mcs.size(); ++mc) {
         if (!(mask & (1u << mc)))
             continue;
-        ctx.stats.inc("asap.commitMessages");
+        ++*stCommitMessages;
         ctx.eq.scheduleAfter(ctx.cfg.mcMessageLatency,
                              [this, mc, ts, remaining]() {
             if (crashed)
@@ -187,7 +192,7 @@ AsapModel::finishCommit(std::uint64_t ts)
         conservativeUntil = 0; // eager flushing resumes
     }
     for (std::uint16_t dep : dependents) {
-        ctx.stats.inc("asap.cdrMessages");
+        ++*stCdrMessages;
         ctx.eq.scheduleAfter(ctx.cfg.interCoreLatency,
                              [this, dep, ts]() {
             if (crashed)

@@ -76,6 +76,12 @@ class AsapModel : public PersistModel
      *  with this timestamp commits. */
     std::uint64_t conservativeUntil = 0;
     bool crashed = false;
+
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stConservativeFallbacks;
+    std::uint64_t *stDfenceStalled;
+    std::uint64_t *stCommitMessages;
+    std::uint64_t *stCdrMessages;
 };
 
 } // namespace asap

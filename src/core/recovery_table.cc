@@ -8,7 +8,15 @@ namespace asap
 RecoveryTable::RecoveryTable(unsigned mc_id, unsigned capacity,
                              StatSet &stats)
     : mcId(mc_id), capacity(capacity), stats(stats),
-      statPrefix("rt" + std::to_string(mc_id) + ".")
+      statPrefix("rt" + std::to_string(mc_id) + "."),
+      stMaxOcc(&stats.counter(statPrefix + "maxOccupancy")),
+      stMaxOccAgg(&stats.counter("rt.maxOccupancy")),
+      stDelayCoalesced(&stats.counter("rt.delayCoalesced")),
+      stSameEpochWriteThrough(&stats.counter("rt.sameEpochWriteThrough")),
+      stNacks(&stats.counter("rt.nacks")),
+      stTotalDelay(&stats.counter("rt.totalDelay")),
+      stTotalUndo(&stats.counter("rt.totalUndo")),
+      stDelayAbsorbed(&stats.counter("rt.delayAbsorbed"))
 {
     fatal_if(capacity == 0, "recovery table needs at least one entry");
 }
@@ -22,8 +30,11 @@ RecoveryTable::occupancy() const
 void
 RecoveryTable::statMax()
 {
-    stats.maxTo(statPrefix + "maxOccupancy", occupancy());
-    stats.maxTo("rt.maxOccupancy", occupancy());
+    const std::uint64_t occ = occupancy();
+    if (occ > *stMaxOcc)
+        *stMaxOcc = occ;
+    if (occ > *stMaxOccAgg)
+        *stMaxOccAgg = occ;
 }
 
 bool
@@ -58,7 +69,7 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
         if (d.line == pkt.line && d.thread == pkt.thread &&
             d.epoch == pkt.epoch) {
             d.value = pkt.value;
-            stats.inc("rt.delayCoalesced");
+            ++*stDelayCoalesced;
             if (!pkt.early) {
                 auto nit = nackedLines.find(pkt.line);
                 if (nit != nackedLines.end()) {
@@ -87,7 +98,7 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
                 // became safe), so the incoming value is newer and
                 // must reach memory. The undo record keeps the
                 // pre-epoch value for rewind.
-                stats.inc("rt.sameEpochWriteThrough");
+                ++*stSameEpochWriteThrough;
                 return FlushAction::WriteMemory;
             }
             // Memory already holds a speculative later value from a
@@ -106,12 +117,12 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
         if (occupancy() >= capacity) {
             nackedLines.insert(pkt.line);
             nackBloom.insert(pkt.line);
-            stats.inc("rt.nacks");
+            ++*stNacks;
             return FlushAction::Nack;
         }
         delays.push_back(
             DelayRecord{pkt.line, pkt.value, pkt.thread, pkt.epoch});
-        stats.inc("rt.totalDelay");
+        ++*stTotalDelay;
         statMax();
         return FlushAction::CreateDelay;
     }
@@ -121,12 +132,12 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
     if (occupancy() >= capacity) {
         nackedLines.insert(pkt.line);
         nackBloom.insert(pkt.line);
-        stats.inc("rt.nacks");
+        ++*stNacks;
         return FlushAction::Nack;
     }
     undos.emplace(pkt.line,
                   UndoRecord{current_value, pkt.thread, pkt.epoch});
-    stats.inc("rt.totalUndo");
+    ++*stTotalUndo;
     statMax();
     return FlushAction::CreateUndoAndWrite;
 }
@@ -154,7 +165,7 @@ RecoveryTable::onCommit(std::uint16_t thread, std::uint64_t epoch,
             auto uit = undos.find(it->line);
             if (uit != undos.end()) {
                 uit->second.value = it->value;
-                stats.inc("rt.delayAbsorbed");
+                ++*stDelayAbsorbed;
             } else {
                 write_out(it->line, it->value);
             }

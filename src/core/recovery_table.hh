@@ -86,6 +86,16 @@ class RecoveryTable : public RecoveryPolicy
     StatSet &stats;
     std::string statPrefix;
 
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stMaxOcc;    //!< per-controller maxOccupancy
+    std::uint64_t *stMaxOccAgg; //!< aggregate rt.maxOccupancy
+    std::uint64_t *stDelayCoalesced;
+    std::uint64_t *stSameEpochWriteThrough;
+    std::uint64_t *stNacks;
+    std::uint64_t *stTotalDelay;
+    std::uint64_t *stTotalUndo;
+    std::uint64_t *stDelayAbsorbed;
+
     std::unordered_map<std::uint64_t, UndoRecord> undos;
     std::list<DelayRecord> delays;
 

@@ -16,7 +16,13 @@ Core::Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
       board(board), models(models), log(log), ops(ops),
       epConflicts(cfg.persistency == PersistencyModel::Epoch &&
                   (cfg.model == ModelKind::Hops ||
-                   cfg.model == ModelKind::Asap))
+                   cfg.model == ModelKind::Asap)),
+      stOpsRetired(&stats.counter("core.opsRetired")),
+      stPmStores(&stats.counter("core.pmStores")),
+      stOfences(&stats.counter("core.ofences")),
+      stDfences(&stats.counter("core.dfences")),
+      stReleases(&stats.counter("core.releases")),
+      stAcquires(&stats.counter("core.acquires"))
 {
 }
 
@@ -57,7 +63,7 @@ Core::next()
         return;
     panic_if(pc >= ops.size(), "core ", thread, " ran off its trace");
     const TraceOp &op = ops[pc++];
-    stats.inc("core.opsRetired");
+    ++*stOpsRetired;
 
     switch (op.type) {
       case OpType::Compute:
@@ -80,7 +86,7 @@ Core::next()
             scheduleNext(1);
             return;
         }
-        stats.inc("core.pmStores");
+        ++*stPmStores;
         if (log) {
             log->recordStore(thread, model().currentEpoch(),
                              lineOf(op.addr), op.value);
@@ -91,17 +97,17 @@ Core::next()
       }
 
       case OpType::OFence:
-        stats.inc("core.ofences");
+        ++*stOfences;
         model().ofence([this]() { scheduleNext(1); });
         return;
 
       case OpType::DFence:
-        stats.inc("core.dfences");
+        ++*stDfences;
         model().dfence([this]() { scheduleNext(1); });
         return;
 
       case OpType::Release: {
-        stats.inc("core.releases");
+        ++*stReleases;
         // Capture the epoch being published before the 1-sided
         // barrier closes it.
         const std::uint64_t rel_epoch = model().currentEpoch();
@@ -119,7 +125,7 @@ Core::next()
       }
 
       case OpType::Acquire: {
-        stats.inc("core.acquires");
+        ++*stAcquires;
         const TraceOp &aop = op;
         auto proceed = [this, aop]() {
             CacheAccess acc =

@@ -76,6 +76,14 @@ class Core
 
     bool epConflicts; //!< EP mode with dependency-tracking hardware
 
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stOpsRetired;
+    std::uint64_t *stPmStores;
+    std::uint64_t *stOfences;
+    std::uint64_t *stDfences;
+    std::uint64_t *stReleases;
+    std::uint64_t *stAcquires;
+
     std::size_t pc = 0;
     bool done = false;
     bool halted = false;

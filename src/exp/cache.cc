@@ -25,25 +25,18 @@ namespace
  *
  *  v2: media-model subsystem (src/media/) — results gained media
  *  byte/queue-delay/bank-occupancy and XPBuffer hit/miss counters,
- *  and the key gained the media profile + override knobs. */
-constexpr const char *kCodeSalt = "asap-sim-v2";
+ *  and the key gained the media profile + override knobs.
+ *
+ *  v3: results gained eventsExecuted (kernel events per run, a
+ *  deterministic stat); entries written by v2 would deserialize with
+ *  it silently zero. */
+constexpr const char *kCodeSalt = "asap-sim-v3";
 
 /** Age beyond which an abandoned temp file is certainly garbage (no
  *  writer holds an insert open for minutes). */
 constexpr double kStaleTmpSeconds = 15 * 60.0;
 
 } // namespace
-
-std::uint64_t
-stableHash64(const std::string &s)
-{
-    std::uint64_t h = 14695981039346656037ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
 
 const char *
 cacheCodeSalt()
@@ -161,7 +154,10 @@ appendResultFields(std::ostringstream &os, const RunResult &r)
        << "xpMisses " << r.xpMisses << '\n'
        << "mediaBytesWritten " << r.mediaBytesWritten << '\n'
        << "mediaQueueDelayTicks " << r.mediaQueueDelayTicks << '\n'
-       << "mediaBankBusyTicks " << r.mediaBankBusyTicks << '\n';
+       << "mediaBankBusyTicks " << r.mediaBankBusyTicks << '\n'
+       // hostNs is deliberately absent: host wall time is
+       // non-deterministic and must never round-trip through a cache.
+       << "eventsExecuted " << r.eventsExecuted << '\n';
 }
 
 } // namespace
@@ -286,6 +282,7 @@ deserializeEntry(const std::string &text, CachedResult &out,
             is >> r.mediaQueueDelayTicks;
         else if (field == "mediaBankBusyTicks")
             is >> r.mediaBankBusyTicks;
+        else if (field == "eventsExecuted") is >> r.eventsExecuted;
         else if (field == "vConsistent") {
             int b = 0;
             is >> b;

@@ -23,14 +23,10 @@
 
 #include "exp/sweep.hh"
 #include "harness/runner.hh"
+#include "sim/hash.hh" // stableHash64 (historically declared here)
 
 namespace asap
 {
-
-/** Stable FNV-1a 64-bit hash of a string (cache keys, shard
- *  assignment, sweep identities — anything that must agree across
- *  processes and hosts). */
-std::uint64_t stableHash64(const std::string &text);
 
 /** Canonical text rendering of a job (hash input; also debuggable). */
 std::string describeJob(const ExperimentJob &job);

@@ -125,6 +125,7 @@ emitJson(std::ostream &os, const SweepResult &sr)
        << ", \"diskHits\": " << sr.diskHits
        << ", \"traceHits\": " << sr.traceHits
        << ", \"traceMisses\": " << sr.traceMisses
+       << ", \"traceDiskHits\": " << sr.traceDiskHits
        << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
        << "  \"results\": [\n";
     const bool media = sr.hasNonDefaultMedia();

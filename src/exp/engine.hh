@@ -60,6 +60,7 @@ struct SweepResult
     std::uint64_t diskHits = 0;   //!< subset of cacheHits from disk
     std::uint64_t traceHits = 0;  //!< simulations reusing a memoised trace
     std::uint64_t traceMisses = 0; //!< simulations that generated one
+    std::uint64_t traceDiskHits = 0; //!< traces replayed from ASAP_TRACE_DIR
     double wallSeconds = 0.0;     //!< sweep wall-clock
 
     const RunResult &at(std::size_t i) const { return results[i]; }

@@ -1,6 +1,10 @@
 #include "harness/runner.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -8,7 +12,9 @@
 #include <utility>
 
 #include "harness/system.hh"
+#include "pm/trace_io.hh"
 #include "recovery/checker.hh"
+#include "sim/hash.hh"
 #include "sim/log.hh"
 #include "workloads/registry.hh"
 #include "workloads/synthetic.hh"
@@ -18,6 +24,22 @@ namespace asap
 
 namespace
 {
+
+/** Monotonic nanoseconds (host profiling). */
+std::uint64_t
+hostNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::atomic<std::uint64_t> profTraceGenNs{0};
+std::atomic<std::uint64_t> profTraceLoadNs{0};
+std::atomic<std::uint64_t> profSimulateNs{0};
+std::atomic<std::uint64_t> profCheckNs{0};
+std::atomic<std::uint64_t> profSimRuns{0};
 
 /** Record the trace a job replays (microbenches are not registry
  *  workloads, so they are special-cased here). */
@@ -58,6 +80,34 @@ std::unordered_map<std::string, std::shared_ptr<TraceCacheEntry>>
     traceMap;
 std::atomic<std::uint64_t> traceHits{0};
 std::atomic<std::uint64_t> traceMisses{0};
+std::atomic<std::uint64_t> traceDiskHits{0};
+
+std::mutex traceDirMu;
+std::string traceDir;
+bool traceDirSet = false;
+
+void
+prepareTraceDir(const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        warn("trace cache: cannot create '", dir, "': ", ec.message());
+}
+
+/** File the disk tier stores a given generation key under. The name
+ *  is only a rendezvous — the key embedded in the file is what
+ *  actually authenticates it on load. */
+std::string
+traceDiskPath(const std::string &dir, const std::string &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(stableHash64(key)));
+    return dir + "/trace-" + hex + ".bin";
+}
 
 std::string
 traceKey(const std::string &workload, unsigned cores,
@@ -74,22 +124,50 @@ TraceSet
 obtainJobTrace(const std::string &workload, const SimConfig &cfg,
                const WorkloadParams &p)
 {
+    const std::string key = traceKey(workload, cfg.numCores, p);
     std::shared_ptr<TraceCacheEntry> entry;
     {
         std::lock_guard<std::mutex> lock(traceMapMu);
-        auto &slot = traceMap[traceKey(workload, cfg.numCores, p)];
+        auto &slot = traceMap[key];
         if (!slot)
             slot = std::make_shared<TraceCacheEntry>();
         entry = slot;
     }
     std::lock_guard<std::mutex> lock(entry->mu);
-    if (!entry->ready) {
-        entry->trace = buildJobTrace(workload, cfg, p);
-        entry->ready = true;
-        traceMisses.fetch_add(1, std::memory_order_relaxed);
-    } else {
+    if (entry->ready) {
         traceHits.fetch_add(1, std::memory_order_relaxed);
+        return entry->trace;
     }
+
+    // Disk tier: another process (or an earlier run) may have left
+    // the trace under ASAP_TRACE_DIR. A file that fails verification
+    // is not an error — log why and fall through to regeneration,
+    // which overwrites it with a good copy.
+    const std::string dir = traceDirectory();
+    std::string path;
+    if (!dir.empty()) {
+        path = traceDiskPath(dir, key);
+        std::string why;
+        const std::uint64_t t0 = hostNowNs();
+        if (tryLoadTraceForKey(path, key, entry->trace, &why)) {
+            profTraceLoadNs.fetch_add(hostNowNs() - t0,
+                                      std::memory_order_relaxed);
+            entry->ready = true;
+            traceDiskHits.fetch_add(1, std::memory_order_relaxed);
+            return entry->trace;
+        }
+        if (why != "cannot read file")
+            warn("trace cache: regenerating '", path, "': ", why);
+    }
+
+    const std::uint64_t t0 = hostNowNs();
+    entry->trace = buildJobTrace(workload, cfg, p);
+    profTraceGenNs.fetch_add(hostNowNs() - t0,
+                             std::memory_order_relaxed);
+    entry->ready = true;
+    traceMisses.fetch_add(1, std::memory_order_relaxed);
+    if (!path.empty())
+        saveTraceAtomic(entry->trace, path, key);
     return entry->trace;
 }
 
@@ -132,6 +210,7 @@ extractResult(System &sys, const std::string &workload,
         r.pbOccMean = s.dist("pb.occupancy").mean();
         r.pbOccP99 = s.dist("pb.occupancy").percentile(99.0);
     }
+    r.eventsExecuted = s.get("sim.eventsExecuted");
     return r;
 }
 
@@ -143,6 +222,7 @@ traceCacheStats()
     TraceCacheStats s;
     s.hits = traceHits.load(std::memory_order_relaxed);
     s.misses = traceMisses.load(std::memory_order_relaxed);
+    s.diskHits = traceDiskHits.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -153,6 +233,41 @@ clearTraceCache()
     traceMap.clear();
     traceHits.store(0, std::memory_order_relaxed);
     traceMisses.store(0, std::memory_order_relaxed);
+    traceDiskHits.store(0, std::memory_order_relaxed);
+}
+
+void
+setTraceDirectory(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(traceDirMu);
+    traceDir = dir;
+    traceDirSet = true;
+    prepareTraceDir(traceDir);
+}
+
+std::string
+traceDirectory()
+{
+    std::lock_guard<std::mutex> lock(traceDirMu);
+    if (!traceDirSet) {
+        const char *env = std::getenv("ASAP_TRACE_DIR");
+        traceDir = env ? env : "";
+        traceDirSet = true;
+        prepareTraceDir(traceDir);
+    }
+    return traceDir;
+}
+
+HostProfile
+hostProfile()
+{
+    HostProfile hp;
+    hp.traceGenNs = profTraceGenNs.load(std::memory_order_relaxed);
+    hp.traceLoadNs = profTraceLoadNs.load(std::memory_order_relaxed);
+    hp.simulateNs = profSimulateNs.load(std::memory_order_relaxed);
+    hp.checkNs = profCheckNs.load(std::memory_order_relaxed);
+    hp.simRuns = profSimRuns.load(std::memory_order_relaxed);
+    return hp;
 }
 
 RunResult
@@ -161,9 +276,15 @@ runExperiment(const std::string &workload, const SimConfig &cfg,
 {
     System sys(cfg);
     sys.loadTrace(obtainJobTrace(workload, cfg, p));
+    const std::uint64_t t0 = hostNowNs();
     if (!sys.run())
         warn("experiment ", workload, " did not finish");
-    return extractResult(sys, workload, cfg);
+    const std::uint64_t simNs = hostNowNs() - t0;
+    profSimulateNs.fetch_add(simNs, std::memory_order_relaxed);
+    profSimRuns.fetch_add(1, std::memory_order_relaxed);
+    RunResult r = extractResult(sys, workload, cfg);
+    r.hostNs = simNs;
+    return r;
 }
 
 RunResult
@@ -185,10 +306,15 @@ runCrashExperiment(const std::string &workload, const SimConfig &cfg,
 {
     System sys(cfg, /*keep_run_log=*/true);
     sys.loadTrace(obtainJobTrace(workload, cfg, p));
+    const std::uint64_t t0 = hostNowNs();
     sys.crashAt(crash_tick);
+    const std::uint64_t simNs = hostNowNs() - t0;
+    profSimulateNs.fetch_add(simNs, std::memory_order_relaxed);
+    profSimRuns.fetch_add(1, std::memory_order_relaxed);
 
     CrashRunResult out;
     out.run = extractResult(sys, workload, cfg);
+    out.run.hostNs = simNs;
 
     CrashVerdict &v = out.verdict;
     v.crashTick = crash_tick;
@@ -203,8 +329,10 @@ runCrashExperiment(const std::string &workload, const SimConfig &cfg,
     v.undoReplayed = sys.stats().get("mc.undoRewindWrites");
     v.adrDrainWrites = sys.stats().get("mc.adrDrainWrites");
 
+    const std::uint64_t c0 = hostNowNs();
     const CheckResult check = checkCrashConsistency(
         sys.runLog(), sys.nvm(), v.committedUpTo);
+    profCheckNs.fetch_add(hostNowNs() - c0, std::memory_order_relaxed);
     v.consistent = check.ok;
     v.message = check.message;
     return out;

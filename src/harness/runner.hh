@@ -55,6 +55,25 @@ struct RunResult
     std::uint64_t mediaQueueDelayTicks = 0;   //!< bandwidth-cap queueing
     std::uint64_t mediaBankBusyTicks = 0;     //!< summed bank occupancy
 
+    /** Kernel events the run executed. Deterministic (a pure function
+     *  of the configuration), so it is cached and emitted like any
+     *  other stat. */
+    std::uint64_t eventsExecuted = 0;
+
+    /** Host wall-clock nanoseconds the simulation took. Host-side
+     *  only and non-deterministic: never serialized into caches and
+     *  never emitted into artifacts (zero on cache-served results). */
+    std::uint64_t hostNs = 0;
+
+    /** Host throughput in events per second (0 when not measured). */
+    double
+    eventsPerSec() const
+    {
+        return hostNs == 0 ? 0.0
+                           : static_cast<double>(eventsExecuted) *
+                                 1e9 / static_cast<double>(hostNs);
+    }
+
     /** Per-core cycles, for normalising blocked/stall percentages. */
     std::uint64_t totalCoreCycles() const { return runTicks * cores; }
 };
@@ -68,15 +87,48 @@ struct RunResult
  */
 struct TraceCacheStats
 {
-    std::uint64_t hits = 0;   //!< runs served a memoised trace
-    std::uint64_t misses = 0; //!< runs that generated the trace
+    std::uint64_t hits = 0;     //!< runs served a memoised trace
+    std::uint64_t misses = 0;   //!< runs that generated the trace
+    std::uint64_t diskHits = 0; //!< traces replayed from ASAP_TRACE_DIR
 };
 
 /** Snapshot of the process-wide trace-memoisation counters. */
 TraceCacheStats traceCacheStats();
 
-/** Drop memoised traces and zero the counters (tests). */
+/** Drop memoised traces and zero the counters (tests). The disk-tier
+ *  directory is left configured. */
 void clearTraceCache();
+
+/**
+ * Point the on-disk trace tier at @p dir (created if missing; empty
+ * disables the tier). Overrides the ASAP_TRACE_DIR environment
+ * variable, which is read once on first use. The directory may be
+ * shared by concurrent processes and shards: files are written via
+ * temp + rename and verified (version, embedded parameter key,
+ * checksum) on load, so a corrupt or stale file costs a regeneration,
+ * never a wrong trace.
+ */
+void setTraceDirectory(const std::string &dir);
+
+/** The active trace-tier directory (empty when disabled). */
+std::string traceDirectory();
+
+/**
+ * Accumulated host-side wall time per runner phase, process-wide.
+ * Benches print the breakdown under --profile; values only ever grow,
+ * so a delta of two snapshots profiles a region.
+ */
+struct HostProfile
+{
+    std::uint64_t traceGenNs = 0;  //!< generating TraceSets
+    std::uint64_t traceLoadNs = 0; //!< loading TraceSets from disk
+    std::uint64_t simulateNs = 0;  //!< System::run / crashAt
+    std::uint64_t checkNs = 0;     //!< recovery-consistency checking
+    std::uint64_t simRuns = 0;     //!< simulations measured
+};
+
+/** Snapshot of the process-wide phase timers. */
+HostProfile hostProfile();
 
 /** Run one workload under one configuration. */
 RunResult runExperiment(const std::string &workload,

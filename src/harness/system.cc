@@ -131,9 +131,12 @@ System::crashAt(Tick tick)
         m->crash();
     for (MemoryController *mc : mcs)
         mc->crash();
-    eq.clear();
+    // The in-flight schedule dies with the power: drop it in one sweep
+    // and record how much was pending (crash diagnostics).
+    stats_.set("sim.eventsDropped", eq.clear());
     runTicks_ = eq.now();
     stats_.set("sim.runTicks", runTicks_);
+    stats_.set("sim.eventsExecuted", eq.executed());
     stats_.inc("sim.crashes");
 }
 

@@ -22,15 +22,27 @@ MemoryController::MemoryController(unsigned id, const SimConfig &cfg,
     : id_(id), cfg(cfg), eq(eq), media(media), stats(stats),
       mediaModel_(makeMediaModel(cfg)), wpq(cfg.wpqEntries),
       xpBuffer(cfg.xpBufferLines),
-      statPrefix("mc" + std::to_string(id) + ".")
+      statPrefix("mc" + std::to_string(id) + "."),
+      stFlushesReceived(stats, statPrefix, "flushesReceived"),
+      stEarlyFlushesReceived(stats, statPrefix, "earlyFlushesReceived"),
+      stSuppressedWrites(stats, statPrefix, "suppressedWrites"),
+      stUndoReads(stats, statPrefix, "undoReads"),
+      stXpHits(stats, statPrefix, "xpHits"),
+      stXpMisses(stats, statPrefix, "xpMisses"),
+      stPmReads(stats, statPrefix, "pmReads"),
+      stDelaysCreated(stats, statPrefix, "delaysCreated"),
+      stNacksSent(stats, statPrefix, "nacksSent"),
+      stCommitsReceived(stats, statPrefix, "commitsReceived"),
+      stDelayWritesReleased(stats, statPrefix, "delayWritesReleased"),
+      stWpqCoalesced(stats, statPrefix, "wpqCoalesced"),
+      stWpqFullStalls(stats, statPrefix, "wpqFullStalls"),
+      stPmWrites(stats, statPrefix, "pmWrites"),
+      stBytesWritten(stats, statPrefix, "bytesWritten"),
+      stBankBusyTicks(stats, statPrefix, "bankBusyTicks"),
+      stBwQueueDelayTicks(stats, statPrefix, "bwQueueDelayTicks"),
+      stAdrDrainWrites(stats, statPrefix, "adrDrainWrites"),
+      stUndoRewindWrites(stats, statPrefix, "undoRewindWrites")
 {
-}
-
-void
-MemoryController::statInc(const char *name, std::uint64_t delta)
-{
-    stats.inc(statPrefix + name, delta);
-    stats.inc(std::string("mc.") + name, delta);
 }
 
 std::uint64_t
@@ -52,9 +64,9 @@ MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
 {
     if (crashed)
         return;
-    statInc("flushesReceived");
+    stFlushesReceived.inc();
     if (pkt.early)
-        statInc("earlyFlushesReceived");
+        stEarlyFlushesReceived.inc();
 
     const std::uint64_t current = durableValue(pkt.line);
     FlushAction action = FlushAction::WriteMemory;
@@ -76,7 +88,7 @@ MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
       case FlushAction::SuppressWrite:
         // The value was absorbed into an existing undo record; no
         // media write happens (write-endurance win, Section VII-A).
-        statInc("suppressedWrites");
+        stSuppressedWrites.inc();
         eq.scheduleAfter(mcProcCost + ackLink,
                          [cb]() { cb(FlushReply::Ack); });
         break;
@@ -93,15 +105,15 @@ MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
         const bool fast = wpqHit || xpHit;
         const Tick readLat = fast ? mediaModel_->hitLatency()
                                   : mediaModel_->readLatency();
-        statInc("undoReads");
+        stUndoReads.inc();
         // XPBuffer hit/miss accounting: a WPQ-pending line never
         // reaches the XPBuffer lookup, so only genuine probes count.
         if (xpHit)
-            statInc("xpHits");
+            stXpHits.inc();
         else if (!wpqHit)
-            statInc("xpMisses");
+            stXpMisses.inc();
         if (!fast)
-            statInc("pmReads");
+            stPmReads.inc();
         xpBuffer.touch(pkt.line);
         enqueueWrite(pkt.line, pkt.value, readLat,
                      [this, cb, ackLink]() {
@@ -111,13 +123,13 @@ MemoryController::receiveFlush(const FlushPacket &pkt, FlushCallback cb)
       }
 
       case FlushAction::CreateDelay:
-        statInc("delaysCreated");
+        stDelaysCreated.inc();
         eq.scheduleAfter(mcProcCost + ackLink,
                          [cb]() { cb(FlushReply::Ack); });
         break;
 
       case FlushAction::Nack:
-        statInc("nacksSent");
+        stNacksSent.inc();
         eq.scheduleAfter(mcProcCost + ackLink,
                          [cb]() { cb(FlushReply::Nack); });
         break;
@@ -130,7 +142,7 @@ MemoryController::receiveCommit(std::uint16_t thread, std::uint64_t epoch,
 {
     if (crashed)
         return;
-    statInc("commitsReceived");
+    stCommitsReceived.inc();
     panic_if(!policy_, "commit message at a controller with no policy");
     // The commit may release delay-record writes; they are durable
     // only once inside the WPQ (the ADR domain), so the commit ACK —
@@ -144,7 +156,7 @@ MemoryController::receiveCommit(std::uint16_t thread, std::uint64_t epoch,
     policy_->onCommit(thread, epoch,
                       [this, pending, finish](std::uint64_t line,
                                               std::uint64_t value) {
-                          statInc("delayWritesReleased");
+                          stDelayWritesReleased.inc();
                           ++*pending;
                           enqueueWrite(line, value, 0, finish);
                       });
@@ -162,11 +174,11 @@ MemoryController::enqueueWrite(std::uint64_t line, std::uint64_t value,
         tryIssueBanks();
         break;
       case Wpq::Insert::Coalesced:
-        statInc("wpqCoalesced");
+        stWpqCoalesced.inc();
         on_inserted();
         break;
       case Wpq::Insert::Full:
-        statInc("wpqFullStalls");
+        stWpqFullStalls.inc();
         overflow.push_back(OverflowWrite{line, value, extra_latency,
                                          std::move(on_inserted)});
         break;
@@ -206,11 +218,11 @@ MemoryController::tryIssueBanks()
         xpBuffer.touch(line);
         const MediaModel::WriteGrant grant =
             mediaModel_->startWrite(eq.now(), lineBytes);
-        statInc("pmWrites");
-        statInc("bytesWritten", lineBytes);
-        statInc("bankBusyTicks", grant.serviceLatency);
+        stPmWrites.inc();
+        stBytesWritten.inc(lineBytes);
+        stBankBusyTicks.inc(grant.serviceLatency);
         if (grant.queueDelay != 0)
-            statInc("bwQueueDelayTicks", grant.queueDelay);
+            stBwQueueDelayTicks.inc(grant.queueDelay);
         // The undo-snapshot read (extra) is served by the separate
         // read path whose bandwidth far exceeds write bandwidth
         // (Section V-A), so it does not extend the write bank's
@@ -236,7 +248,7 @@ MemoryController::admitOverflow()
             w.onInserted();
             break;
           case Wpq::Insert::Coalesced:
-            statInc("wpqCoalesced");
+            stWpqCoalesced.inc();
             w.onInserted();
             break;
           case Wpq::Insert::Full:
@@ -252,7 +264,7 @@ MemoryController::crash()
     // ADR drains the WPQ to the media.
     for (auto &[line, value] : wpq.drainAll()) {
         media.write(line, value);
-        statInc("adrDrainWrites");
+        stAdrDrainWrites.inc();
     }
     // Writes never accepted into the WPQ are lost (never ACKed).
     overflow.clear();
@@ -260,7 +272,7 @@ MemoryController::crash()
     if (policy_) {
         policy_->onCrash([this](std::uint64_t line, std::uint64_t value) {
             media.write(line, value);
-            statInc("undoRewindWrites");
+            stUndoRewindWrites.inc();
         });
     }
 }

@@ -99,7 +99,32 @@ class MemoryController
     /** Admit overflow writes into freed WPQ slots. */
     void admitOverflow();
 
-    void statInc(const char *name, std::uint64_t delta = 1);
+    /**
+     * A (per-MC, aggregate "mc.*") counter pair bumped together.
+     * Resolved once at construction: the per-event path must not pay
+     * two string concatenations and two map walks per statistic.
+     */
+    class StatPair
+    {
+      public:
+        StatPair(StatSet &stats, const std::string &prefix,
+                 const char *name)
+            : mc(&stats.counter(prefix + name)),
+              agg(&stats.counter(std::string("mc.") + name))
+        {
+        }
+
+        void
+        inc(std::uint64_t delta = 1)
+        {
+            *mc += delta;
+            *agg += delta;
+        }
+
+      private:
+        std::uint64_t *mc;
+        std::uint64_t *agg;
+    };
 
     unsigned id_;
     const SimConfig &cfg;
@@ -126,6 +151,26 @@ class MemoryController
 
     bool crashed = false;
     std::string statPrefix;
+
+    StatPair stFlushesReceived;
+    StatPair stEarlyFlushesReceived;
+    StatPair stSuppressedWrites;
+    StatPair stUndoReads;
+    StatPair stXpHits;
+    StatPair stXpMisses;
+    StatPair stPmReads;
+    StatPair stDelaysCreated;
+    StatPair stNacksSent;
+    StatPair stCommitsReceived;
+    StatPair stDelayWritesReleased;
+    StatPair stWpqCoalesced;
+    StatPair stWpqFullStalls;
+    StatPair stPmWrites;
+    StatPair stBytesWritten;
+    StatPair stBankBusyTicks;
+    StatPair stBwQueueDelayTicks;
+    StatPair stAdrDrainWrites;
+    StatPair stUndoRewindWrites;
 };
 
 } // namespace asap

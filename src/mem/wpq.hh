@@ -7,14 +7,20 @@
  * survives power failure (Section II-C). Writes drain from the WPQ to
  * the NVM media. Writes to a line already pending coalesce in place,
  * which is one of ASAP's write-endurance wins (Section VII-A).
+ *
+ * Implementation: a fixed ring buffer sized at construction. The
+ * queue is hardware-small (16 entries by default), so lookups are a
+ * linear scan over a contiguous array — cheaper in practice than the
+ * hash-map-over-deque it replaces, and the steady-state insert/pop
+ * path performs no allocation at all.
  */
 
 #ifndef ASAP_MEM_WPQ_HH
 #define ASAP_MEM_WPQ_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace asap
 {
@@ -31,7 +37,10 @@ class Wpq
         Full,       //!< no space; caller must retry later
     };
 
-    explicit Wpq(unsigned capacity) : cap(capacity) {}
+    explicit Wpq(unsigned capacity)
+        : cap(capacity), ring(capacity ? capacity : 1)
+    {
+    }
 
     /**
      * Try to add (or coalesce) a pending write.
@@ -44,17 +53,20 @@ class Wpq
     insert(std::uint64_t line, std::uint64_t value,
            std::uint64_t extra_latency = 0, std::uint64_t now = 0)
     {
-        auto it = index.find(line);
-        if (it != index.end()) {
-            it->second->value = value;
-            if (extra_latency > it->second->extraLatency)
-                it->second->extraLatency = extra_latency;
+        if (Entry *e = find(line)) {
+            e->value = value;
+            if (extra_latency > e->extraLatency)
+                e->extraLatency = extra_latency;
             return Insert::Coalesced;
         }
-        if (fifo.size() >= cap)
+        if (count >= cap)
             return Insert::Full;
-        fifo.push_back(Entry{line, value, extra_latency, now});
-        index[line] = &fifo.back();
+        Entry &e = ring[(head + count) % ring.size()];
+        e.line = line;
+        e.value = value;
+        e.extraLatency = extra_latency;
+        e.insertTick = now;
+        ++count;
         return Insert::Queued;
     }
 
@@ -62,14 +74,14 @@ class Wpq
     bool
     contains(std::uint64_t line) const
     {
-        return index.count(line) != 0;
+        return const_cast<Wpq *>(this)->find(line) != nullptr;
     }
 
     /** Pending value for @p line (precondition: contains(line)). */
     std::uint64_t
     pendingValue(std::uint64_t line) const
     {
-        return index.at(line)->value;
+        return const_cast<Wpq *>(this)->find(line)->value;
     }
 
     /** Oldest entry still pending (precondition: !empty()). */
@@ -84,7 +96,7 @@ class Wpq
     FrontEntry
     front() const
     {
-        const Entry &e = fifo.front();
+        const Entry &e = ring[head];
         return {e.line, e.value, e.extraLatency, e.insertTick};
     }
 
@@ -92,29 +104,27 @@ class Wpq
     void
     pop()
     {
-        index.erase(fifo.front().line);
-        fifo.pop_front();
-        // Deque reallocation on pop_front never moves surviving
-        // elements for std::deque, but rebuild the index defensively
-        // when it drains to keep pointer hygiene obvious.
-        if (fifo.empty())
-            index.clear();
+        head = (head + 1) % ring.size();
+        --count;
     }
 
-    bool empty() const { return fifo.empty(); }
-    bool full() const { return fifo.size() >= cap; }
-    std::size_t size() const { return fifo.size(); }
+    bool empty() const { return count == 0; }
+    bool full() const { return count >= cap; }
+    std::size_t size() const { return count; }
     unsigned capacity() const { return cap; }
 
     /** Snapshot of all pending writes (used by crash handling). */
-    std::deque<std::pair<std::uint64_t, std::uint64_t>>
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
     drainAll()
     {
-        std::deque<std::pair<std::uint64_t, std::uint64_t>> out;
-        for (const Entry &e : fifo)
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        out.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const Entry &e = ring[(head + i) % ring.size()];
             out.emplace_back(e.line, e.value);
-        fifo.clear();
-        index.clear();
+        }
+        head = 0;
+        count = 0;
         return out;
     }
 
@@ -127,9 +137,21 @@ class Wpq
         std::uint64_t insertTick = 0;
     };
 
+    Entry *
+    find(std::uint64_t line)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            Entry &e = ring[(head + i) % ring.size()];
+            if (e.line == line)
+                return &e;
+        }
+        return nullptr;
+    }
+
     unsigned cap;
-    std::deque<Entry> fifo;
-    std::unordered_map<std::uint64_t, Entry *> index;
+    std::vector<Entry> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
 };
 
 } // namespace asap

@@ -42,7 +42,7 @@ BaselineModel::issueNextClwb(const std::shared_ptr<FenceState> &st)
     const auto [line, value] = st->lines[st->nextIssue++];
     FlushPacket pkt{line, value, thread, st->ts, /*early=*/false};
     const unsigned mc = ctx.amap.mcFor(line);
-    ctx.stats.inc("baseline.clwbs");
+    ++*stClwbs;
     ctx.eq.scheduleAfter(ctx.cfg.pbFlushLatency, [this, pkt, mc,
                                                   st]() {
         if (crashed)
@@ -51,8 +51,7 @@ BaselineModel::issueNextClwb(const std::shared_ptr<FenceState> &st)
             if (crashed)
                 return;
             if (--st->remaining == 0) {
-                ctx.stats.inc("core.sfenceStalled",
-                              ctx.eq.now() - st->start);
+                *stSfenceStalled += ctx.eq.now() - st->start;
                 st->done();
                 return;
             }

@@ -29,7 +29,9 @@ class BaselineModel : public PersistModel
 {
   public:
     BaselineModel(std::uint16_t thread, ModelContext &ctx)
-        : PersistModel(thread, ctx)
+        : PersistModel(thread, ctx),
+          stClwbs(&ctx.stats.counter("baseline.clwbs")),
+          stSfenceStalled(&ctx.stats.counter("core.sfenceStalled"))
     {
     }
 
@@ -96,6 +98,10 @@ class BaselineModel : public PersistModel
     std::unordered_map<std::uint64_t, std::uint64_t> writeSet;
     std::uint64_t epoch = 1;
     bool crashed = false;
+
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stClwbs;
+    std::uint64_t *stSfenceStalled;
 };
 
 } // namespace asap

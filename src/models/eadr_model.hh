@@ -85,10 +85,10 @@ class EadrModel : public PersistModel
         // The battery drains every cached dirty line to the media.
         // The map is shared; the first model to crash drains it.
         if (ctx.media && ctx.eadrDirty) {
-            for (const auto &[line, value] : *ctx.eadrDirty) {
+            ctx.stats.inc("eadr.batteryDrainWrites",
+                          ctx.eadrDirty->size());
+            for (const auto &[line, value] : *ctx.eadrDirty)
                 ctx.media->write(line, value);
-                ctx.stats.inc("eadr.batteryDrainWrites");
-            }
             ctx.eadrDirty->clear();
         }
     }

@@ -10,13 +10,16 @@ namespace asap
 HopsModel::HopsModel(std::uint16_t thread, ModelContext &ctx)
     : PersistModel(thread, ctx),
       et(thread, ctx.cfg.etEntries, ctx.stats),
-      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs)
+      pb(thread, ctx.cfg, ctx.eq, ctx.stats, ctx.amap, ctx.mcs),
+      stTsUpdates(&ctx.stats.counter("hops.tsUpdates")),
+      stPolls(&ctx.stats.counter("hops.polls")),
+      stDfenceStalled(&ctx.stats.counter("core.dfenceStalled"))
 {
     et.setCommittableHook([this](std::uint64_t ts) {
         // No controller-side protocol: safe + complete commits
         // immediately; the commit is published by updating the global
         // timestamp register that dependents poll.
-        this->ctx.stats.inc("hops.tsUpdates");
+        ++*stTsUpdates;
         std::vector<std::uint16_t> deps = et.markCommitted(ts);
         // Dependents discover the commit by polling; nothing to send.
         (void)deps;
@@ -65,7 +68,7 @@ HopsModel::dfence(Callback done)
     et.closeEpoch(false, [this, start, done = std::move(done)]() {
         pb.kick();
         et.waitAllCommitted([this, start, done]() {
-            ctx.stats.inc("core.dfenceStalled", ctx.eq.now() - start);
+            *stDfenceStalled += ctx.eq.now() - start;
             done();
         });
     });
@@ -125,7 +128,7 @@ HopsModel::schedulePoll(std::uint16_t src_thread, std::uint64_t src_epoch)
     if (peer->epochCommitted(src_epoch)) {
         // Committed before we even started waiting: resolve after a
         // single register read.
-        ctx.stats.inc("hops.polls");
+        ++*stPolls;
         ctx.eq.scheduleAfter(ctx.cfg.hopsPollCost,
                              [this, src_thread, src_epoch]() {
             if (crashed)
@@ -138,7 +141,7 @@ HopsModel::schedulePoll(std::uint16_t src_thread, std::uint64_t src_epoch)
                          [this, src_thread, src_epoch]() {
         if (crashed)
             return;
-        ctx.stats.inc("hops.polls");
+        ++*stPolls;
         auto *p = static_cast<HopsModel *>(ctx.peers[src_thread]);
         if (p->epochCommitted(src_epoch)) {
             ctx.eq.scheduleAfter(ctx.cfg.hopsPollCost,

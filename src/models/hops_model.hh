@@ -64,6 +64,11 @@ class HopsModel : public PersistModel
     EpochTable et;
     PersistBuffer pb;
     bool crashed = false;
+
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stTsUpdates;
+    std::uint64_t *stPolls;
+    std::uint64_t *stDfenceStalled;
 };
 
 } // namespace asap

@@ -10,7 +10,12 @@ namespace asap
 
 EpochTable::EpochTable(std::uint16_t thread, unsigned capacity,
                        StatSet &stats)
-    : thread(thread), capacity(capacity), stats(stats)
+    : thread(thread), capacity(capacity), stats(stats),
+      stFullStalls(&stats.counter("et.fullStalls")),
+      stOverflowSplits(&stats.counter("et.overflowSplits")),
+      stEpochsOpened(&stats.counter("et.epochsOpened")),
+      stInterTEpochConflict(&stats.counter("et.interTEpochConflict")),
+      stEpochsCommitted(&stats.counter("et.epochsCommitted"))
 {
     fatal_if(capacity < 2, "epoch table needs at least 2 entries");
     Entry first;
@@ -44,19 +49,19 @@ void
 EpochTable::closeEpoch(bool allow_overflow, Callback done)
 {
     if (entries.size() >= capacity && !allow_overflow) {
-        stats.inc("et.fullStalls");
+        ++*stFullStalls;
         openWaiters.push_back([this, done = std::move(done)]() mutable {
             closeEpoch(false, std::move(done));
         });
         return;
     }
     if (entries.size() >= capacity)
-        stats.inc("et.overflowSplits");
+        ++*stOverflowSplits;
     entries.back().closed = true;
     Entry next;
     next.ts = nextTs++;
     entries.push_back(next);
-    stats.inc("et.epochsOpened");
+    ++*stEpochsOpened;
     evaluate();
     done();
 }
@@ -72,7 +77,7 @@ EpochTable::openDependentEpoch(std::uint16_t src_thread,
     active.depSrc = src_thread;
     active.depSrcEpoch = src_epoch;
     active.depResolved = false;
-    stats.inc("et.interTEpochConflict");
+    ++*stInterTEpochConflict;
 }
 
 void
@@ -148,7 +153,7 @@ EpochTable::markCommitted(std::uint64_t ts)
         std::move(entries.front().dependents);
     lastCommitted_ = ts;
     entries.pop_front();
-    stats.inc("et.epochsCommitted");
+    ++*stEpochsCommitted;
 
     // Freed a slot: admit one stalled barrier.
     if (!openWaiters.empty() && entries.size() < capacity) {

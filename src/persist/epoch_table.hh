@@ -142,6 +142,13 @@ class EpochTable
     StatSet &stats;
     CommittableHook committableHook;
 
+    // Hot counters resolved once at construction (see StatSet::counter).
+    std::uint64_t *stFullStalls;
+    std::uint64_t *stOverflowSplits;
+    std::uint64_t *stEpochsOpened;
+    std::uint64_t *stInterTEpochConflict;
+    std::uint64_t *stEpochsCommitted;
+
     std::deque<Entry> entries; //!< ordered by ts; front commits first
     std::uint64_t nextTs = 2;  //!< entries.back() starts at ts 1
     std::uint64_t lastCommitted_ = 0;

@@ -1,5 +1,6 @@
 #include "persist/persist_buffer.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/log.hh"
@@ -12,8 +13,19 @@ PersistBuffer::PersistBuffer(std::uint16_t thread, const SimConfig &cfg,
                              AddressMap &amap,
                              std::vector<MemoryController *> &mcs)
     : thread(thread), cfg(cfg), eq(eq), stats(stats), amap(amap),
-      mcs(mcs), statPrefix("pb" + std::to_string(thread) + ".")
+      mcs(mcs), statPrefix("pb" + std::to_string(thread) + "."),
+      occDist(&stats.dist("pb.occupancy", cfg.pbEntries)),
+      stCyclesBlocked(&stats.counter(statPrefix + "cyclesBlocked")),
+      stCyclesBlockedAgg(&stats.counter("pb.cyclesBlocked")),
+      stCoalesced(&stats.counter("pb.coalesced")),
+      stFullEvents(&stats.counter("pb.fullEvents")),
+      stEntriesInserted(&stats.counter("pb.entriesInserted")),
+      stTotSpecWrites(&stats.counter("pb.totSpecWrites")),
+      stNacksReceived(&stats.counter("pb.nacksReceived")),
+      stCyclesStalled(&stats.counter("pb.cyclesStalled"))
 {
+    inflightLines.reserve(cfg.pbMaxInflight);
+    earlierLines.reserve(cfg.pbEntries);
 }
 
 void
@@ -29,10 +41,8 @@ void
 PersistBuffer::accountOccupancy()
 {
     const Tick now = eq.now();
-    if (now > lastOccChange) {
-        stats.dist("pb.occupancy", cfg.pbEntries)
-            .sample(occupancy(), now - lastOccChange);
-    }
+    if (now > lastOccChange)
+        occDist->sample(occupancy(), now - lastOccChange);
     lastOccChange = now;
 }
 
@@ -41,8 +51,8 @@ PersistBuffer::accountBlocked()
 {
     const Tick now = eq.now();
     if (wasBlocked && now > lastBlockedCheck) {
-        stats.inc("pb.cyclesBlocked", now - lastBlockedCheck);
-        stats.inc(statPrefix + "cyclesBlocked", now - lastBlockedCheck);
+        *stCyclesBlockedAgg += now - lastBlockedCheck;
+        *stCyclesBlocked += now - lastBlockedCheck;
     }
     lastBlockedCheck = now;
     bool any_flushable = false;
@@ -69,14 +79,14 @@ PersistBuffer::enqueue(std::uint64_t line, std::uint64_t value,
     for (auto it = queued.rbegin(); it != queued.rend(); ++it) {
         if (it->line == line && it->epoch == epoch) {
             it->value = value;
-            stats.inc("pb.coalesced");
+            ++*stCoalesced;
             accepted();
             onAck(epoch, line, /*early=*/false);
             return;
         }
     }
     if (occupancy() >= cfg.pbEntries) {
-        stats.inc("pb.fullEvents");
+        ++*stFullEvents;
         stalledStores.push_back(
             StalledStore{PbEntry{line, value, epoch, false},
                          std::move(accepted), eq.now()});
@@ -85,7 +95,7 @@ PersistBuffer::enqueue(std::uint64_t line, std::uint64_t value,
     accountOccupancy();
     queued.push_back(PbEntry{line, value, epoch, false});
     ++totalEnqueued;
-    stats.inc("pb.entriesInserted");
+    ++*stEntriesInserted;
     accepted();
     tryFlush();
 }
@@ -102,13 +112,15 @@ PersistBuffer::tryFlush()
         // held back) so the recovery table sees same-line values in
         // write order.
         std::size_t idx = queued.size();
-        std::unordered_set<std::uint64_t> earlier_lines;
+        earlierLines.clear();
         for (std::size_t i = 0; i < queued.size(); ++i) {
             const PbEntry &e = queued[i];
             const bool line_blocked =
-                earlier_lines.count(e.line) != 0 ||
-                inflightLines.count(e.line) != 0;
-            earlier_lines.insert(e.line);
+                std::find(earlierLines.begin(), earlierLines.end(),
+                          e.line) != earlierLines.end() ||
+                std::find(inflightLines.begin(), inflightLines.end(),
+                          e.line) != inflightLines.end();
+            earlierLines.push_back(e.line);
             if (line_blocked)
                 continue;
             FlushMode m = classify(e.epoch);
@@ -133,13 +145,13 @@ PersistBuffer::dispatch(std::size_t idx)
     const bool early = (mode == FlushMode::Early);
     queued.erase(queued.begin() + static_cast<std::ptrdiff_t>(idx));
     ++numInflight;
-    inflightLines.insert(entry.line);
+    inflightLines.push_back(entry.line);
     accountOccupancy();
 
     FlushPacket pkt{entry.line, entry.value, thread, entry.epoch, early};
     const unsigned mc = amap.mcFor(entry.line);
     if (early) {
-        stats.inc("pb.totSpecWrites");
+        ++*stTotSpecWrites;
     }
 
     // Forward link latency, then controller processing, then the
@@ -152,7 +164,8 @@ PersistBuffer::dispatch(std::size_t idx)
             if (crashed)
                 return;
             --numInflight;
-            auto lit = inflightLines.find(pkt.line);
+            auto lit = std::find(inflightLines.begin(),
+                                 inflightLines.end(), pkt.line);
             if (lit != inflightLines.end())
                 inflightLines.erase(lit);
             accountOccupancy();
@@ -162,7 +175,7 @@ PersistBuffer::dispatch(std::size_t idx)
             } else {
                 // NACK: requeue; the entry must wait until its epoch
                 // is safe and then retry as a safe flush.
-                stats.inc("pb.nacksReceived");
+                ++*stNacksReceived;
                 PbEntry back = entry;
                 back.nacked = true;
                 queued.push_front(back);
@@ -174,11 +187,11 @@ PersistBuffer::dispatch(std::size_t idx)
                    occupancy() < cfg.pbEntries) {
                 StalledStore s = std::move(stalledStores.front());
                 stalledStores.pop_front();
-                stats.inc("pb.cyclesStalled", eq.now() - s.since);
+                *stCyclesStalled += eq.now() - s.since;
                 accountOccupancy();
                 queued.push_back(s.entry);
                 ++totalEnqueued;
-                stats.inc("pb.entriesInserted");
+                ++*stEntriesInserted;
                 s.accepted();
             }
             tryFlush();

@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/address_map.hh"
@@ -122,9 +121,14 @@ class PersistBuffer
     std::deque<PbEntry> queued;
     unsigned numInflight = 0;
     /** Lines with an in-flight flush: later writes to the same line
-     *  must wait so same-line flushes arrive at the MC in order. */
-    std::unordered_multiset<std::uint64_t> inflightLines;
+     *  must wait so same-line flushes arrive at the MC in order.
+     *  Multiset semantics over a linear-scanned vector — occupancy is
+     *  bounded by pbMaxInflight, far below hash-map break-even. */
+    std::vector<std::uint64_t> inflightLines;
     std::deque<StalledStore> stalledStores;
+    /** Reused earlier-lines scratch for tryFlush (the per-call
+     *  unordered_set it replaces dominated the flush-scan profile). */
+    std::vector<std::uint64_t> earlierLines;
     std::uint64_t totalEnqueued = 0;
     std::uint64_t totalAcked = 0;
 
@@ -135,6 +139,17 @@ class PersistBuffer
     bool crashed = false;
 
     std::string statPrefix;
+
+    // Hot counters resolved once at construction (see StatSet::counter).
+    Distribution *occDist;
+    std::uint64_t *stCyclesBlocked;
+    std::uint64_t *stCyclesBlockedAgg;
+    std::uint64_t *stCoalesced;
+    std::uint64_t *stFullEvents;
+    std::uint64_t *stEntriesInserted;
+    std::uint64_t *stTotSpecWrites;
+    std::uint64_t *stNacksReceived;
+    std::uint64_t *stCyclesStalled;
 };
 
 } // namespace asap

@@ -7,14 +7,28 @@
  * simulation deterministic. Components schedule closures; there is no
  * threading — the whole multicore system is simulated on one host
  * thread, as in gem5's event queue.
+ *
+ * The kernel is allocation-free in steady state. Callbacks are
+ * constructed in place inside fixed-size slots (small-buffer storage,
+ * enforced at compile time — no heap fallback) that live in
+ * chunk-allocated slabs and recycle through a freelist; the priority
+ * queue itself is a binary heap of 24-byte plain-data nodes
+ * {tick, seq, slot}, so sift operations move trivially copyable
+ * values and never touch the callbacks. Once the heap vector and the
+ * slab have warmed to the simulation's peak pending-event count, the
+ * schedule/pop cycle performs zero heap allocation.
  */
 
 #ifndef ASAP_SIM_EVENT_QUEUE_HH
 #define ASAP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/log.hh"
@@ -27,7 +41,20 @@ namespace asap
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline storage per event callback. Large enough for every
+     * capture list in the simulator (the biggest — a persist-buffer
+     * dispatch capturing a FlushPacket plus a PbEntry — is under 90
+     * bytes); schedule() rejects larger callables at compile time
+     * rather than falling back to the heap.
+     */
+    static constexpr std::size_t inlineCallbackBytes = 104;
+
+    EventQueue() = default;
+    ~EventQueue() { clear(); }
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return curTick_; }
@@ -42,19 +69,22 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      * @pre when >= now()
      */
+    template <typename F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&cb)
     {
         panic_if(when < curTick_, "scheduling event in the past (", when,
                  " < ", curTick_, ")");
-        heap.push(Event{when, nextSeq++, std::move(cb)});
+        heap.push_back(Node{when, nextSeq++, makeSlot(std::forward<F>(cb))});
+        std::push_heap(heap.begin(), heap.end(), NodeAfter{});
     }
 
     /** Schedule @p cb to run @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleAfter(Tick delay, Callback cb)
+    scheduleAfter(Tick delay, F &&cb)
     {
-        schedule(curTick_ + delay, std::move(cb));
+        schedule(curTick_ + delay, std::forward<F>(cb));
     }
 
     /**
@@ -67,16 +97,11 @@ class EventQueue
     run(Tick limit = maxTick)
     {
         while (!heap.empty()) {
-            const Event &top = heap.top();
-            if (top.when > limit) {
+            if (heap.front().when > limit) {
                 curTick_ = limit;
                 return false;
             }
-            curTick_ = top.when;
-            Callback cb = std::move(const_cast<Event &>(top).cb);
-            heap.pop();
-            ++executed_;
-            cb();
+            popAndExecute();
         }
         return true;
     }
@@ -87,40 +112,128 @@ class EventQueue
     {
         if (heap.empty())
             return false;
-        const Event &top = heap.top();
-        curTick_ = top.when;
-        Callback cb = std::move(const_cast<Event &>(top).cb);
-        heap.pop();
-        ++executed_;
-        cb();
+        popAndExecute();
         return true;
     }
 
-    /** Drop all pending events (used by crash injection). */
-    void
+    /**
+     * Drop all pending events in one sweep (used by crash injection —
+     * no O(n log n) heap drain, just callback teardown).
+     * @return the number of events dropped
+     */
+    std::size_t
     clear()
     {
-        while (!heap.empty())
-            heap.pop();
+        const std::size_t dropped = heap.size();
+        for (const Node &n : heap)
+            releaseSlot(n.slot);
+        heap.clear();
+        return dropped;
     }
 
   private:
-    struct Event
+    /** One constructed-in-place callback. Slots never move: slabs are
+     *  chunk-allocated and only the freelist recycles them. */
+    struct Slot
+    {
+        alignas(std::max_align_t) unsigned char storage[inlineCallbackBytes];
+        void (*invoke)(void *);
+        void (*destroy)(void *); //!< null for trivially destructible
+    };
+
+    /** Heap node: plain data, cheap to sift. */
+    struct Node
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
+    };
 
+    /** Heap order: the front is the earliest (tick, seq) pair. */
+    struct NodeAfter
+    {
         bool
-        operator>(const Event &other) const
+        operator()(const Node &a, const Node &b) const
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+    static constexpr std::size_t slotsPerChunk = 256;
+
+    Slot &
+    slotAt(std::uint32_t idx)
+    {
+        return chunks[idx / slotsPerChunk][idx % slotsPerChunk];
+    }
+
+    template <typename F>
+    std::uint32_t
+    makeSlot(F &&cb)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= inlineCallbackBytes,
+                      "event callback capture exceeds the inline slot; "
+                      "shrink the capture or raise inlineCallbackBytes");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event callback");
+        if (freeSlots.empty())
+            growSlab();
+        const std::uint32_t idx = freeSlots.back();
+        freeSlots.pop_back();
+        Slot &s = slotAt(idx);
+        ::new (static_cast<void *>(s.storage)) Fn(std::forward<F>(cb));
+        s.invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+        if constexpr (std::is_trivially_destructible_v<Fn>)
+            s.destroy = nullptr;
+        else
+            s.destroy = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        return idx;
+    }
+
+    void
+    releaseSlot(std::uint32_t idx)
+    {
+        Slot &s = slotAt(idx);
+        if (s.destroy)
+            s.destroy(s.storage);
+        freeSlots.push_back(idx);
+    }
+
+    void
+    growSlab()
+    {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(chunks.size() * slotsPerChunk);
+        chunks.push_back(std::make_unique<Slot[]>(slotsPerChunk));
+        freeSlots.reserve(freeSlots.size() + slotsPerChunk);
+        // Hand out low indices first (cosmetic: keeps early slots hot).
+        for (std::uint32_t i = slotsPerChunk; i > 0; --i)
+            freeSlots.push_back(base + i - 1);
+    }
+
+    /** Pop the earliest event and execute it. The node leaves the heap
+     *  before the callback runs (callbacks schedule new events); the
+     *  slot is released after, so an executing callback never aliases
+     *  a live one. */
+    void
+    popAndExecute()
+    {
+        const Node top = heap.front();
+        std::pop_heap(heap.begin(), heap.end(), NodeAfter{});
+        heap.pop_back();
+        curTick_ = top.when;
+        ++executed_;
+        Slot &s = slotAt(top.slot);
+        s.invoke(s.storage);
+        releaseSlot(top.slot);
+    }
+
+    std::vector<Node> heap;
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<std::uint32_t> freeSlots;
     Tick curTick_ = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed_ = 0;

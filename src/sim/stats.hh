@@ -92,6 +92,19 @@ class StatSet
             slot = value;
     }
 
+    /**
+     * Handle to counter @p name (created at zero). std::map node
+     * references are stable, so components fetch their hot counters
+     * once at construction and bump through the reference instead of
+     * paying a string compare chain per event. Invalidated only by
+     * reset().
+     */
+    std::uint64_t &
+    counter(const std::string &name)
+    {
+        return counters[name];
+    }
+
     /** Read counter @p name (0 if never touched). */
     std::uint64_t get(const std::string &name) const;
 
