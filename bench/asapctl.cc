@@ -1,0 +1,299 @@
+/**
+ * @file
+ * asapctl: command-line client for a running asapd.
+ *
+ *   asapctl --socket S ping
+ *   asapctl --socket S submit --workloads queue,cceh [--models asap_rp]
+ *           [--cores 4] [--media P] [--ops N] [--seed S]
+ *           [--priority P] [--out sweep.csv]
+ *   asapctl --socket S status
+ *   asapctl --socket S stats [--json]
+ *   asapctl --socket S cancel --sweep s3
+ *   asapctl --socket S shutdown
+ *
+ * `submit` expands the same cross-product a figure bench would,
+ * streams results from the daemon, and (with --out) writes the
+ * standard CSV/JSON artifact — byte-identical to a batch run of the
+ * same sweep. The submit summary line matches the bench epilogue, so
+ * warm-vs-cold behaviour is visible at a glance.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/emit.hh"
+#include "media/media.hh"
+#include "sim/log.hh"
+#include "svc/client.hh"
+#include "workloads/registry.hh"
+
+using namespace asap;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH <command> [options]\n"
+        "commands:\n"
+        "  ping                         liveness check\n"
+        "  submit --workloads w1,w2,... run a sweep on the daemon\n"
+        "         [--models m1_pm1,...] [--cores c1,c2,...]\n"
+        "         [--media PROFILE] [--ops N] [--seed S]\n"
+        "         [--priority P] [--client NAME] [--out PATH]\n"
+        "  status                       active sweeps\n"
+        "  stats [--json]               cache/scheduler/daemon stats\n"
+        "  cancel --sweep sID           drop a sweep's queued jobs\n"
+        "  shutdown                     graceful daemon shutdown\n",
+        argv0);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t end = list.find(',', start);
+        if (end == std::string::npos)
+            end = list.size();
+        if (end > start)
+            items.push_back(list.substr(start, end - start));
+        start = end + 1;
+    }
+    return items;
+}
+
+std::vector<ModelPair>
+parseModels(const std::string &list)
+{
+    std::vector<ModelPair> models;
+    for (const std::string &item : splitList(list)) {
+        const std::size_t us = item.rfind('_');
+        if (us == std::string::npos) {
+            std::fprintf(stderr,
+                         "error: bad --models entry '%s' (want e.g. "
+                         "asap_rp)\n",
+                         item.c_str());
+            std::exit(2);
+        }
+        models.emplace_back(
+            parseModelKind(item.substr(0, us)),
+            parsePersistencyModel(item.substr(us + 1)));
+    }
+    return models;
+}
+
+int
+printHumanStats(const Json &resp)
+{
+    const Json &cache = resp.get("cache");
+    const Json &sched = resp.get("scheduler");
+    const Json &daemon = resp.get("daemon");
+    std::printf("cache:     %llu mem hits, %llu disk hits, %llu "
+                "misses (%.0f%% hit), aux %llu/%llu\n",
+                (unsigned long long)cache.get("memHits").asU64(),
+                (unsigned long long)cache.get("diskHits").asU64(),
+                (unsigned long long)cache.get("misses").asU64(),
+                100.0 * cache.get("hitRate").asDouble(),
+                (unsigned long long)cache.get("auxHits").asU64(),
+                (unsigned long long)cache.get("auxMisses").asU64());
+    std::printf("scheduler: %llu queued, %llu in flight, %llu "
+                "completed, %llu cancelled\n",
+                (unsigned long long)sched.get("queued").asU64(),
+                (unsigned long long)sched.get("inFlight").asU64(),
+                (unsigned long long)sched.get("completed").asU64(),
+                (unsigned long long)sched.get("cancelled").asU64());
+    for (const auto &kv : sched.get("perClient").members()) {
+        std::printf("  client %-16s %llu jobs\n", kv.first.c_str(),
+                    (unsigned long long)kv.second.asU64());
+    }
+    std::printf("daemon:    %llu connections, %llu sweeps, %llu "
+                "jobs (%llu unique), %.2fs up, %.2f Mevents/s "
+                "aggregate\n",
+                (unsigned long long)
+                    daemon.get("connections").asU64(),
+                (unsigned long long)daemon.get("sweeps").asU64(),
+                (unsigned long long)daemon.get("jobs").asU64(),
+                (unsigned long long)daemon.get("unique").asU64(),
+                daemon.get("uptimeSeconds").asDouble(),
+                daemon.get("eventsPerSec").asDouble() / 1e6);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+
+    ClientOptions copt;
+    std::string command;
+    std::string workloadsArg, modelsArg = "asap_rp";
+    std::string coresArg = "4";
+    std::string media = kDefaultMediaProfile;
+    std::string outPath, sweepId;
+    unsigned ops = 200;
+    std::uint64_t seed = 1;
+    bool jsonStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--socket") && i + 1 < argc)
+            copt.socketPath = argv[++i];
+        else if (!std::strcmp(arg, "--workloads") && i + 1 < argc)
+            workloadsArg = argv[++i];
+        else if (!std::strcmp(arg, "--models") && i + 1 < argc)
+            modelsArg = argv[++i];
+        else if (!std::strcmp(arg, "--cores") && i + 1 < argc)
+            coresArg = argv[++i];
+        else if (!std::strcmp(arg, "--media") && i + 1 < argc)
+            media = argv[++i];
+        else if (!std::strcmp(arg, "--ops") && i + 1 < argc)
+            ops = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        else if (!std::strcmp(arg, "--seed") && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(arg, "--priority") && i + 1 < argc)
+            copt.priority = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 0));
+        else if (!std::strcmp(arg, "--client") && i + 1 < argc)
+            copt.clientName = argv[++i];
+        else if (!std::strcmp(arg, "--out") && i + 1 < argc)
+            outPath = argv[++i];
+        else if (!std::strcmp(arg, "--sweep") && i + 1 < argc)
+            sweepId = argv[++i];
+        else if (!std::strcmp(arg, "--json"))
+            jsonStats = true;
+        else if (arg[0] != '-' && command.empty())
+            command = arg;
+        else
+            usage(argv[0]);
+    }
+    if (copt.socketPath.empty() || command.empty())
+        usage(argv[0]);
+
+    SvcClient client(copt);
+    std::string why;
+
+    if (command == "ping") {
+        if (!client.ping(&why)) {
+            std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+            return 1;
+        }
+        std::printf("ok\n");
+        return 0;
+    }
+
+    if (command == "status" || command == "stats") {
+        Json resp;
+        const bool ok = command == "status"
+                            ? client.status(resp, &why)
+                            : client.stats(resp, &why);
+        if (!ok) {
+            std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+            return 1;
+        }
+        if (command == "stats" && !jsonStats)
+            return printHumanStats(resp);
+        if (command == "status" && !jsonStats) {
+            const Json &sweeps = resp.get("sweeps");
+            if (sweeps.size() == 0) {
+                std::printf("no active sweeps\n");
+                return 0;
+            }
+            for (std::size_t i = 0; i < sweeps.size(); ++i) {
+                const Json &row = sweeps.at(i);
+                std::printf(
+                    "%-6s client %-16s prio %-3lld %llu/%llu "
+                    "streamed (%llu cancelled)\n",
+                    row.get("sweep").asString().c_str(),
+                    row.get("client").asString().c_str(),
+                    (long long)row.get("priority").asI64(),
+                    (unsigned long long)
+                        row.get("streamed").asU64(),
+                    (unsigned long long)row.get("unique").asU64(),
+                    (unsigned long long)
+                        row.get("cancelled").asU64());
+            }
+            return 0;
+        }
+        std::printf("%s\n", resp.dump().c_str());
+        return 0;
+    }
+
+    if (command == "cancel") {
+        if (sweepId.empty())
+            usage(argv[0]);
+        std::uint64_t n = 0;
+        if (!client.cancel(sweepId, &n, &why)) {
+            std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+            return 1;
+        }
+        std::printf("cancelled %llu queued job(s) of %s\n",
+                    (unsigned long long)n, sweepId.c_str());
+        return 0;
+    }
+
+    if (command == "shutdown") {
+        if (!client.shutdown(&why)) {
+            std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+            return 1;
+        }
+        std::printf("shutdown requested\n");
+        return 0;
+    }
+
+    if (command == "submit") {
+        if (workloadsArg.empty())
+            usage(argv[0]);
+        if (!isMediaProfile(media)) {
+            std::fprintf(stderr,
+                         "error: unknown media profile '%s'\n",
+                         media.c_str());
+            return 2;
+        }
+        SweepSpec spec;
+        spec.workloads = splitList(workloadsArg);
+        spec.models = parseModels(modelsArg);
+        spec.coreCounts.clear();
+        for (const std::string &c : splitList(coresArg)) {
+            spec.coreCounts.push_back(static_cast<unsigned>(
+                std::strtoul(c.c_str(), nullptr, 0)));
+        }
+        spec.params.opsPerThread = ops;
+        spec.params.seed = seed;
+        spec.base.mediaProfile = media;
+
+        SweepResult sr;
+        if (!client.runJobs(spec.expand(), sr, &why)) {
+            std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+            return 1;
+        }
+        if (!outPath.empty() && !emitToFile(outPath, sr)) {
+            std::fprintf(stderr,
+                         "error: could not write artifact to %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        // Same accounting line as the bench epilogue; wall time is
+        // non-deterministic, so it goes to stderr.
+        std::printf(
+            "[sweep: %zu jobs, %zu simulated, %llu cache hits]\n",
+            sr.jobs.size(), sr.uniqueRuns,
+            (unsigned long long)sr.cacheHits);
+        std::fprintf(stderr, "sweep wall-clock: %.3fs\n",
+                     sr.wallSeconds);
+        return 0;
+    }
+
+    usage(argv[0]);
+}

@@ -19,6 +19,9 @@
  *   --claim        with --shard: also reclaim dead shards' jobs
  *   --salt S       re-deal the shard partition (must match cluster-wide)
  *   --lease-ttl S  claim-protocol lease staleness threshold (seconds)
+ *   --daemon SOCK  execute the sweep on the asapd at SOCK instead of
+ *                  in-process (bench/asapd); tables and artifacts are
+ *                  byte-identical either way
  *
  * Benches build an ExperimentJob list (JobSet or SweepSpec), run it
  * through the exp engine, and format tables from the deterministic,
@@ -45,6 +48,7 @@
 #include "exp/sweep.hh"
 #include "harness/runner.hh"
 #include "sim/log.hh"
+#include "svc/client.hh"
 #include "workloads/registry.hh"
 
 namespace asap
@@ -66,6 +70,8 @@ struct BenchArgs
     ShardSpec shard;      //!< which slice (with --salt folded in)
     bool claim = false;   //!< reclaim dead shards' jobs
     double leaseTtl = 60.0; //!< lease staleness threshold
+
+    std::string daemonSocket; //!< --daemon: route sweeps to an asapd
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -125,12 +131,16 @@ struct BenchArgs
             } else if (!std::strcmp(argv[i], "--lease-ttl") &&
                        i + 1 < argc) {
                 a.leaseTtl = std::strtod(argv[++i], nullptr);
+            } else if (!std::strcmp(argv[i], "--daemon") &&
+                       i + 1 < argc) {
+                a.daemonSocket = argv[++i];
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--ops N] [--seed S] "
                              "[--workload W] [--media P] [--jobs N] "
                              "[--json PATH] [--progress] [--profile] "
                              "[--list-media] [--list-workloads] "
+                             "[--daemon SOCKET] "
                              "[--shard i/n [--claim] [--salt S] "
                              "[--lease-ttl SEC]]\n", argv[0]);
                 std::exit(2);
@@ -196,6 +206,29 @@ struct BenchArgs
         return opt;
     }
 };
+
+/**
+ * Run a bench's job list where the user pointed it: on the asapd at
+ * --daemon's socket, or in-process through the engine. Both paths
+ * share jobKey()-addressed caching and deterministic assembly, so the
+ * bench's tables and CSV artifacts are byte-identical either way.
+ */
+inline SweepResult
+runBenchJobs(const BenchArgs &args, std::vector<ExperimentJob> jobs)
+{
+    if (!args.daemonSocket.empty()) {
+        return daemonRunJobs(args.daemonSocket, std::move(jobs),
+                             args.options());
+    }
+    return runJobs(std::move(jobs), args.options());
+}
+
+/** runBenchJobs() for declarative sweeps. */
+inline SweepResult
+runBenchSweep(const BenchArgs &args, const SweepSpec &spec)
+{
+    return runBenchJobs(args, spec.expand());
+}
 
 /** Geometric mean of a series (ignores non-positive entries). */
 inline double

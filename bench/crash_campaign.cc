@@ -49,6 +49,7 @@ struct CampaignArgs
     ShardSpec shard;
     bool claim = false;
     double leaseTtl = 60.0;
+    std::string daemonSocket; //!< --daemon: route sweeps to an asapd
 };
 
 [[noreturn]] void
@@ -62,8 +63,8 @@ usage(const char *argv0)
         "stride|epoch|random]\n"
         "          [--tick-seed S] [--cores N] [--models "
         "m1_pm1,m2_pm2,...]\n"
-        "          [--progress] [--shard i/n [--claim] [--salt S] "
-        "[--lease-ttl SEC]]\n"
+        "          [--progress] [--daemon SOCKET] "
+        "[--shard i/n [--claim] [--salt S] [--lease-ttl SEC]]\n"
         "       %s --repro --workload W [--media P] --model M --pm P "
         "--cores N\n"
         "          --ops N --seed S --crash-tick T\n",
@@ -138,6 +139,8 @@ parseArgs(int argc, char **argv)
             a.shard.salt = need(i), ++i;
         else if (!std::strcmp(arg, "--lease-ttl"))
             a.leaseTtl = std::strtod(need(i), nullptr), ++i;
+        else if (!std::strcmp(arg, "--daemon"))
+            a.daemonSocket = need(i), ++i;
         else
             usage(argv[0]);
     }
@@ -249,15 +252,40 @@ runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
         // to derive the identical crash job list, so the probe phase
         // blocks until all probes are in the shared cache (simulated
         // at most once cluster-wide via the lease protocol). Only the
-        // crash sweep itself is then sharded.
-        const SweepResult probes = ensureJobs(campaignProbeJobs(spec),
-                                              emitArgs.distOptions());
-        const CampaignExpansion ex = expandCampaign(spec, probes);
+        // crash sweep itself is then sharded. A memoized probe
+        // summary (any earlier campaign over these configs) skips
+        // the phase outright.
+        bool fromMemo = false;
+        const std::vector<ProbeStat> stats = ensureProbeStats(
+            spec, emitArgs.options(),
+            [&](std::vector<ExperimentJob> jobs, const RunOptions &) {
+                return ensureJobs(jobs, emitArgs.distOptions());
+            },
+            &fromMemo);
+        if (fromMemo)
+            std::fprintf(stderr,
+                         "probe phase: served from memoized summary\n");
+        const CampaignExpansion ex = expandCampaign(spec, stats);
         if (maybeRunShard(emitArgs, ex.crashJobs))
             return 0;
     }
 
-    const CampaignResult cr = runCampaign(spec, emitArgs.options());
+    SweepRunner runner;
+    if (!emitArgs.daemonSocket.empty()) {
+        runner = [&](std::vector<ExperimentJob> jobs,
+                     const RunOptions &opt) {
+            return daemonRunJobs(emitArgs.daemonSocket,
+                                 std::move(jobs), opt);
+        };
+    }
+    const CampaignResult cr =
+        runCampaign(spec, emitArgs.options(), runner);
+    if (cr.probePhaseCached) {
+        // stderr only: the verdict table must stay byte-identical
+        // between cold and warm campaigns.
+        std::fprintf(stderr,
+                     "probe phase: served from memoized summary\n");
+    }
 
     std::printf("=== Crash-injection campaign: %zu crash points, "
                 "strategy %s ===\n",
@@ -315,5 +343,6 @@ main(int argc, char **argv)
     emitArgs.shard = a.shard;
     emitArgs.claim = a.claim;
     emitArgs.leaseTtl = a.leaseTtl;
+    emitArgs.daemonSocket = a.daemonSocket;
     return runCampaignMode(a, emitArgs);
 }

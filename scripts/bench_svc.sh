@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Measure the sweep service's warm-vs-cold submit latency and write
+# the result to BENCH_svc.json (committed as the seed machine's
+# numbers; regenerate on your own hardware with this script).
+#
+# Cold: first submit of a sweep to a fresh daemon — every unique job
+# simulates. Warm: the identical resubmit — served entirely from the
+# daemon's hot in-memory cache, so the gap is the service's reason to
+# exist.
+#
+# Usage: scripts/bench_svc.sh [build_dir] [out_json]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_svc.json}"
+OPS="${ASAP_SVC_BENCH_OPS:-150}"
+WORKLOADS="${ASAP_SVC_BENCH_WORKLOADS:-queue,heap,cceh,skiplist}"
+CORES="${ASAP_SVC_BENCH_CORES:-2,4}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+SOCK="$TMP/asap.sock"
+
+unset ASAP_CACHE_DIR ASAP_TRACE_DIR
+
+"$BUILD/bench/asapd" --socket "$SOCK" --workers "$(nproc)" \
+    2> "$TMP/asapd.log" &
+ASAPD_PID=$!
+for _ in $(seq 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+"$BUILD/bench/asapctl" --socket "$SOCK" ping > /dev/null
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+submit() {
+    "$BUILD/bench/asapctl" --socket "$SOCK" submit \
+        --workloads "$WORKLOADS" --cores "$CORES" --ops "$OPS" \
+        --models asap_rp,hops_ep 2>/dev/null
+}
+
+T0=$(now_ms); COLD_LINE="$(submit)"; T1=$(now_ms)
+COLD_MS=$((T1 - T0))
+T0=$(now_ms); WARM_LINE="$(submit)"; T1=$(now_ms)
+WARM_MS=$((T1 - T0))
+
+# The warm submit must be a pure cache pass — 0 simulated.
+echo "$WARM_LINE" | grep -q ' 0 simulated,' || {
+    echo "bench_svc.sh: warm submit was not fully cached: $WARM_LINE" >&2
+    exit 1
+}
+
+STATS="$("$BUILD/bench/asapctl" --socket "$SOCK" stats --json)"
+"$BUILD/bench/asapctl" --socket "$SOCK" shutdown > /dev/null
+wait "$ASAPD_PID"
+
+JOBS="$(echo "$COLD_LINE" | sed -E 's/.*\[sweep: ([0-9]+) jobs.*/\1/')"
+SPEEDUP="$(awk -v c="$COLD_MS" -v w="$WARM_MS" \
+    'BEGIN { printf "%.1f", (w > 0 ? c / w : 0) }')"
+
+cat > "$OUT" <<EOF
+{
+  "bench": "svc-submit-latency",
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": "$(uname -sr)",
+  "workers": $(nproc),
+  "sweep": {
+    "workloads": "$WORKLOADS",
+    "cores": "$CORES",
+    "models": "asap_rp,hops_ep",
+    "ops": $OPS,
+    "jobs": $JOBS
+  },
+  "coldSubmitMs": $COLD_MS,
+  "warmSubmitMs": $WARM_MS,
+  "warmSpeedup": $SPEEDUP,
+  "warmFullyCached": true,
+  "daemonStats": $STATS
+}
+EOF
+
+echo "bench_svc.sh: cold ${COLD_MS} ms, warm ${WARM_MS} ms" \
+     "(${SPEEDUP}x) -> $OUT"

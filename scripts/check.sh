@@ -103,4 +103,38 @@ grep -qE '"traceDiskHits": [1-9]' "$TMP/trace_warm.json"
     --json "$TMP/kernel.json" > /dev/null
 grep -q '"kernel-chain"' "$TMP/kernel.json"
 
-echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay and kernel bench all passed"
+# Sweep-service smoke: start an asapd on a private socket + cache,
+# route a figure bench through it with --daemon, and hold it to the
+# subsystem's core guarantee — stdout and CSV byte-identical to the
+# batch run above, warm resubmits served entirely from the daemon's
+# hot cache, clean shutdown via asapctl. Small ops keep this
+# TSan-compatible (the daemon's scheduler, streaming and shutdown
+# paths all run under the same binary).
+"$BUILD/bench/asapd" --socket "$TMP/asap.sock" \
+    --cache-dir "$TMP/svc-cache" --workers 4 \
+    2> "$TMP/asapd.log" &
+ASAPD_PID=$!
+for _ in $(seq 50); do
+    [ -S "$TMP/asap.sock" ] && break
+    sleep 0.1
+done
+"$BUILD/bench/asapctl" --socket "$TMP/asap.sock" ping > /dev/null
+# CSV artifacts are fully deterministic (the JSON header's wall-clock
+# field is not), so CSV is what the byte-identity guarantee covers.
+"$BUILD/bench/fig08_performance" --ops 50 \
+    --json "$TMP/fig08_batch.csv" > /dev/null
+"$BUILD/bench/fig08_performance" --ops 50 --daemon "$TMP/asap.sock" \
+    --json "$TMP/fig08_svc.csv" > "$TMP/fig08_svc.txt"
+diff "$TMP/fig08_par.txt" "$TMP/fig08_svc.txt"
+diff "$TMP/fig08_batch.csv" "$TMP/fig08_svc.csv"
+"$BUILD/bench/fig08_performance" --ops 50 --daemon "$TMP/asap.sock" \
+    > "$TMP/fig08_warm.txt"
+grep -q ' 0 simulated,' "$TMP/fig08_warm.txt"
+"$BUILD/bench/asapctl" --socket "$TMP/asap.sock" stats --json \
+    > "$TMP/svc_stats.json"
+grep -q '"scheduler"' "$TMP/svc_stats.json"
+"$BUILD/bench/asapctl" --socket "$TMP/asap.sock" shutdown > /dev/null
+wait "$ASAPD_PID"
+[ ! -S "$TMP/asap.sock" ]
+
+echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay, kernel bench and sweep service all passed"

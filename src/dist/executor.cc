@@ -62,6 +62,8 @@ runJobsSharded(const std::vector<ExperimentJob> &jobs,
     const auto t0 = std::chrono::steady_clock::now();
     ResultCache &cache = requireSharedCache(opt, "--shard");
     const CacheStats cacheBefore = cache.stats();
+    // A ^C'd shard must not strand its leases for a full TTL.
+    installLeaseSignalHandler();
 
     ShardManifest m;
     m.shard = opt.shard;
@@ -158,6 +160,7 @@ ensureJobs(const std::vector<ExperimentJob> &jobs,
            const DistOptions &opt)
 {
     ResultCache &cache = requireSharedCache(opt, "ensureJobs");
+    installLeaseSignalHandler();
 
     std::vector<std::string> keys(jobs.size());
     std::unordered_map<std::string, std::size_t> leaderOf;

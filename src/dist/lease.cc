@@ -1,5 +1,6 @@
 #include "dist/lease.hh"
 
+#include <csignal>
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -7,6 +8,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <utility>
@@ -20,6 +22,73 @@ namespace
 {
 
 namespace fs = std::filesystem;
+
+/**
+ * Emergency release slot table.
+ *
+ * A signal handler may only touch async-signal-safe state, so the set
+ * of held lease paths is mirrored into a fixed table of atomic slots:
+ * acquire claims a free slot (CAS Free -> Claiming, copy the path,
+ * publish as Armed), release disarms it, and the SIGINT/SIGTERM
+ * handler walks Armed slots calling unlink(). Slot exhaustion or an
+ * oversized path just means that lease falls back to TTL reclaim if
+ * the process dies — never an error.
+ */
+constexpr std::size_t kEmergencySlots = 256;
+constexpr std::size_t kEmergencyPathMax = 512;
+
+enum SlotState : int { SlotFree = 0, SlotClaiming = 1, SlotArmed = 2 };
+
+struct EmergencySlot
+{
+    std::atomic<int> state{SlotFree};
+    char path[kEmergencyPathMax];
+};
+
+EmergencySlot gEmergencySlots[kEmergencySlots];
+
+void
+armEmergencySlot(const std::string &path)
+{
+    if (path.size() + 1 > kEmergencyPathMax)
+        return;
+    for (std::size_t i = 0; i < kEmergencySlots; ++i) {
+        int expect = SlotFree;
+        if (!gEmergencySlots[i].state.compare_exchange_strong(
+                expect, SlotClaiming, std::memory_order_acq_rel))
+            continue;
+        std::memcpy(gEmergencySlots[i].path, path.c_str(),
+                    path.size() + 1);
+        gEmergencySlots[i].state.store(SlotArmed,
+                                       std::memory_order_release);
+        return;
+    }
+}
+
+void
+disarmEmergencySlot(const std::string &path)
+{
+    for (std::size_t i = 0; i < kEmergencySlots; ++i) {
+        if (gEmergencySlots[i].state.load(std::memory_order_acquire) !=
+            SlotArmed)
+            continue;
+        if (std::strcmp(gEmergencySlots[i].path, path.c_str()) != 0)
+            continue;
+        gEmergencySlots[i].state.store(SlotFree,
+                                       std::memory_order_release);
+        return;
+    }
+}
+
+extern "C" void
+leaseEmergencyHandler(int signo)
+{
+    // unlink(2), sigaction, and raise are async-signal-safe; nothing
+    // here allocates or locks.
+    LeaseManager::emergencyReleaseAll();
+    ::signal(signo, SIG_DFL);
+    ::raise(signo);
+}
 
 /** Process-unique suffix for steal-rename temp names. */
 std::string
@@ -76,10 +145,59 @@ LeaseManager::~LeaseManager()
     // caller lets go of its manager.
     std::lock_guard<std::mutex> lock(mu);
     for (const std::string &path : held) {
+        disarmEmergencySlot(path);
         std::error_code ec;
         fs::remove(path, ec);
     }
     held.clear();
+}
+
+std::size_t
+LeaseManager::emergencyReleaseAll()
+{
+    std::size_t released = 0;
+    for (std::size_t i = 0; i < kEmergencySlots; ++i) {
+        int expect = SlotArmed;
+        if (!gEmergencySlots[i].state.compare_exchange_strong(
+                expect, SlotClaiming, std::memory_order_acq_rel))
+            continue;
+        if (::unlink(gEmergencySlots[i].path) == 0)
+            ++released;
+        gEmergencySlots[i].state.store(SlotFree,
+                                       std::memory_order_release);
+    }
+    return released;
+}
+
+std::size_t
+LeaseManager::emergencyRegisteredCount()
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kEmergencySlots; ++i) {
+        if (gEmergencySlots[i].state.load(std::memory_order_acquire) ==
+            SlotArmed)
+            ++n;
+    }
+    return n;
+}
+
+void
+installLeaseSignalHandler()
+{
+    static std::atomic<bool> installed{false};
+    if (installed.exchange(true))
+        return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = leaseEmergencyHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int signo : {SIGINT, SIGTERM}) {
+        struct sigaction old;
+        if (::sigaction(signo, nullptr, &old) == 0 &&
+            old.sa_handler == SIG_IGN)
+            continue; // respect an inherited "ignore" (nohup-style)
+        (void)::sigaction(signo, &sa, nullptr);
+    }
 }
 
 std::string
@@ -108,8 +226,11 @@ LeaseManager::tryAcquire(const std::string &key)
     // live contender beat us to it — that's Busy, not an error.
     for (int attempt = 0; attempt < 2; ++attempt) {
         if (createLeaseFile(path)) {
-            std::lock_guard<std::mutex> lock(mu);
-            held.insert(path);
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                held.insert(path);
+            }
+            armEmergencySlot(path);
             return Acquire::Acquired;
         }
         if (errno != EEXIST)
@@ -136,6 +257,7 @@ LeaseManager::release(const std::string &key)
         std::lock_guard<std::mutex> lock(mu);
         held.erase(path);
     }
+    disarmEmergencySlot(path);
     std::error_code ec;
     fs::remove(path, ec);
 }

@@ -68,6 +68,16 @@ class LeaseManager
     /** Leases currently held by this manager. */
     std::size_t heldCount() const;
 
+    /** Unlink every lease file registered in the emergency slot
+     *  table. Async-signal-safe (unlink + atomics only); this is the
+     *  body of the SIGINT/SIGTERM handler, exposed so tests and
+     *  embedders can invoke it directly. Returns the number of lease
+     *  files released. */
+    static std::size_t emergencyReleaseAll();
+
+    /** Lease files currently registered for emergency release. */
+    static std::size_t emergencyRegisteredCount();
+
     /** The lease file path for @p key. */
     std::string leasePath(const std::string &key) const;
 
@@ -84,6 +94,18 @@ class LeaseManager
     bool stopping = false;
     std::thread heartbeat;
 };
+
+/**
+ * Install a SIGINT/SIGTERM handler that unlinks every lease file this
+ * process currently holds (via LeaseManager::emergencyReleaseAll),
+ * restores the default disposition, and re-raises — so an interrupted
+ * batch bench dies with the right signal status but never strands
+ * leases that would stall other shards for a full TTL. Idempotent;
+ * call from single-threaded startup. Long-running embedders that
+ * manage signals themselves (asapd) skip this and rely on graceful
+ * LeaseManager teardown instead.
+ */
+void installLeaseSignalHandler();
 
 } // namespace asap
 

@@ -1,6 +1,7 @@
 #include "exp/crash_campaign.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -100,14 +101,104 @@ campaignProbeJobs(const CampaignSpec &spec)
     return probes.jobs();
 }
 
-CampaignExpansion
-expandCampaign(const CampaignSpec &spec, const SweepResult &probe_sr)
+std::string
+probeMemoKey(const CampaignSpec &spec)
 {
+    // Hash the ordered probe job keys: any knob that changes a probe
+    // simulation changes its jobKey (including the code salt), so the
+    // memo invalidates exactly when the stats it summarizes would.
+    std::string text = "probeMemo v1\n";
+    for (const ExperimentJob &j : campaignProbeJobs(spec))
+        text += jobKey(j) + "\n";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "prb-%016llx",
+                  static_cast<unsigned long long>(stableHash64(text)));
+    return buf;
+}
+
+std::string
+serializeProbeStats(const std::vector<ProbeStat> &stats)
+{
+    std::ostringstream os;
+    os << "probeStats v1\n";
+    os << "count " << stats.size() << "\n";
+    for (const ProbeStat &s : stats)
+        os << s.runTicks << " " << s.epochs << "\n";
+    os << "end 1\n";
+    return os.str();
+}
+
+bool
+deserializeProbeStats(const std::string &text,
+                      std::vector<ProbeStat> &out)
+{
+    std::istringstream is(text);
+    std::string tag, version;
+    if (!(is >> tag >> version) || tag != "probeStats" ||
+        version != "v1") {
+        return false;
+    }
+    std::size_t count = 0;
+    if (!(is >> tag >> count) || tag != "count")
+        return false;
+    std::vector<ProbeStat> stats;
+    stats.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ProbeStat s;
+        if (!(is >> s.runTicks >> s.epochs))
+            return false;
+        stats.push_back(s);
+    }
+    int marker = 0;
+    if (!(is >> tag >> marker) || tag != "end" || marker != 1)
+        return false;
+    out = std::move(stats);
+    return true;
+}
+
+std::vector<ProbeStat>
+ensureProbeStats(const CampaignSpec &spec, const RunOptions &opt,
+                 const SweepRunner &runner, bool *from_memo)
+{
+    if (from_memo)
+        *from_memo = false;
+    ResultCache &cache = opt.cache ? *opt.cache : processCache();
+    const std::string key = probeMemoKey(spec);
+
+    std::string memo;
+    std::vector<ProbeStat> stats;
+    if (cache.lookupAux(key, memo) &&
+        deserializeProbeStats(memo, stats)) {
+        if (from_memo)
+            *from_memo = true;
+        return stats;
+    }
+
+    const SweepResult probeSr =
+        runner ? runner(campaignProbeJobs(spec), opt)
+               : runJobs(campaignProbeJobs(spec), opt);
+    stats.clear();
+    stats.reserve(probeSr.jobs.size());
+    for (std::size_t c = 0; c < probeSr.jobs.size(); ++c)
+        stats.push_back({probeSr.at(c).runTicks, probeSr.at(c).epochs});
+    cache.insertAux(key, serializeProbeStats(stats));
+    return stats;
+}
+
+CampaignExpansion
+expandCampaign(const CampaignSpec &spec,
+               const std::vector<ProbeStat> &stats)
+{
+    const std::vector<ExperimentJob> confs = campaignProbeJobs(spec);
+    if (confs.size() != stats.size()) {
+        fatal("expandCampaign: ", stats.size(), " probe stats for ",
+              confs.size(), " configurations");
+    }
     CampaignExpansion out;
     JobSet crash;
-    for (std::size_t c = 0; c < probe_sr.jobs.size(); ++c) {
-        const ExperimentJob &conf = probe_sr.jobs[c];
-        const RunResult &probe = probe_sr.at(c);
+    for (std::size_t c = 0; c < confs.size(); ++c) {
+        const ExperimentJob &conf = confs[c];
+        const ProbeStat &probe = stats[c];
         const std::vector<Tick> ticks = selectCrashTicks(
             spec.strategy, probe.runTicks, probe.epochs,
             conf.cfg.numCores, spec.ticksPerConfig,
@@ -129,15 +220,28 @@ expandCampaign(const CampaignSpec &spec, const SweepResult &probe_sr)
     return out;
 }
 
-CampaignResult
-runCampaign(const CampaignSpec &spec, const RunOptions &opt)
+CampaignExpansion
+expandCampaign(const CampaignSpec &spec, const SweepResult &probe_sr)
 {
-    const SweepResult probeSr = runJobs(campaignProbeJobs(spec), opt);
-    CampaignExpansion expansion = expandCampaign(spec, probeSr);
+    std::vector<ProbeStat> stats;
+    stats.reserve(probe_sr.jobs.size());
+    for (std::size_t c = 0; c < probe_sr.jobs.size(); ++c)
+        stats.push_back({probe_sr.at(c).runTicks, probe_sr.at(c).epochs});
+    return expandCampaign(spec, stats);
+}
 
+CampaignResult
+runCampaign(const CampaignSpec &spec, const RunOptions &opt,
+            const SweepRunner &runner)
+{
     CampaignResult out;
+    const std::vector<ProbeStat> stats =
+        ensureProbeStats(spec, opt, runner, &out.probePhaseCached);
+    CampaignExpansion expansion = expandCampaign(spec, stats);
+
     out.rows = std::move(expansion.rows);
-    out.sweep = runJobs(std::move(expansion.crashJobs), opt);
+    out.sweep = runner ? runner(std::move(expansion.crashJobs), opt)
+                       : runJobs(std::move(expansion.crashJobs), opt);
 
     // Verdict accounting, in submission (= config) order.
     out.badJobs = out.sweep.inconsistentJobs();

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,15 @@
 
 namespace asap
 {
+
+/**
+ * How a campaign runs its sweeps: any callable with the runJobs()
+ * shape. The default is runJobs itself; a daemon-routed campaign
+ * substitutes the svc client so probes and crash jobs execute on a
+ * running asapd instead of in-process.
+ */
+using SweepRunner = std::function<SweepResult(std::vector<ExperimentJob>,
+                                              const RunOptions &)>;
 
 /** How a campaign picks crash ticks within a config's runtime. */
 enum class TickStrategy
@@ -93,9 +103,56 @@ struct CampaignResult
     std::vector<CampaignRow> rows; //!< one row per configuration
     std::vector<std::size_t> badJobs; //!< sweep indices, inconsistent
 
+    /** True when the probe phase was served from the memoized probe
+     *  summary instead of running the probe sweep. */
+    bool probePhaseCached = false;
+
     std::size_t crashPoints() const { return sweep.jobs.size(); }
     bool allConsistent() const { return badJobs.empty(); }
 };
+
+/**
+ * Probe summary of one configuration: the only two stats crash-tick
+ * selection needs. A full probe RunResult is memoized down to this
+ * pair so warm (and daemon) campaigns skip the probe phase entirely —
+ * no probe sweep, no per-probe cache assembly.
+ */
+struct ProbeStat
+{
+    Tick runTicks = 0;          //!< undisturbed runtime
+    std::uint64_t epochs = 0;   //!< epochs opened
+};
+
+/**
+ * Aux-tier memo key for @p spec's probe phase: "prb-" + hash over the
+ * ordered probe job keys. Strategy/ticksPerConfig/tickSeed are
+ * deliberately excluded — they shape tick *selection*, not probe
+ * *output* — so campaigns differing only in those share one memo.
+ */
+std::string probeMemoKey(const CampaignSpec &spec);
+
+/** Render probe stats as aux-cache text (order = probe-job order). */
+std::string serializeProbeStats(const std::vector<ProbeStat> &stats);
+
+/**
+ * Parse serializeProbeStats() output.
+ * @return false if truncated, malformed, or the count disagrees
+ */
+bool deserializeProbeStats(const std::string &text,
+                           std::vector<ProbeStat> &out);
+
+/**
+ * The probe phase, memoized: probe stats for @p spec in
+ * campaignProbeJobs() order, served from the ResultCache aux tier
+ * when a previous campaign (this process or, with a disk cache, any
+ * process) derived them, else produced by running the probe sweep
+ * through @p runner (empty = runJobs) and memoized for the next run.
+ * @param from_memo when non-null, set to true on an aux-tier hit
+ */
+std::vector<ProbeStat> ensureProbeStats(const CampaignSpec &spec,
+                                        const RunOptions &opt,
+                                        const SweepRunner &runner = {},
+                                        bool *from_memo = nullptr);
 
 /**
  * Phase 1 of a campaign: one probe Run job per (workload, model,
@@ -122,11 +179,21 @@ CampaignExpansion expandCampaign(const CampaignSpec &spec,
                                  const SweepResult &probe_sr);
 
 /**
- * Run a campaign: probe sweep, tick selection, crash sweep.
- * Both sweeps go through the engine with @p opt (parallel + cached).
+ * Same expansion from bare probe stats (campaignProbeJobs() order) —
+ * the form a memoized probe phase restores without ever materializing
+ * a probe SweepResult. Fatal if the counts disagree.
+ */
+CampaignExpansion expandCampaign(const CampaignSpec &spec,
+                                 const std::vector<ProbeStat> &stats);
+
+/**
+ * Run a campaign: probe phase (memoized via ensureProbeStats), tick
+ * selection, crash sweep. Sweeps go through @p runner (empty =
+ * runJobs) with @p opt (parallel + cached).
  */
 CampaignResult runCampaign(const CampaignSpec &spec,
-                           const RunOptions &opt = {});
+                           const RunOptions &opt = {},
+                           const SweepRunner &runner = {});
 
 /**
  * One-line `bench/crash_campaign --repro ...` invocation that

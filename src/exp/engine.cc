@@ -1,6 +1,7 @@
 #include "exp/engine.hh"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -131,6 +132,57 @@ SweepResult::find(const std::string &workload, ModelKind model,
     return nullptr;
 }
 
+CachedResult
+executeJob(const ExperimentJob &job)
+{
+    CachedResult e;
+    e.kind = job.kind;
+    if (job.kind == JobKind::Crash) {
+        CrashRunResult cr = runCrashExperiment(job.workload, job.cfg,
+                                               job.params,
+                                               job.crashTick);
+        e.run = std::move(cr.run);
+        e.verdict = std::move(cr.verdict);
+    } else {
+        e.run = runExperiment(job.workload, job.cfg, job.params);
+    }
+    return e;
+}
+
+namespace
+{
+
+/** Barrier for tasks submitted to an external executor: the engine
+ *  cannot pool.wait() on a scheduler it does not own, so it counts
+ *  its own completions instead. */
+class TaskLatch
+{
+  public:
+    explicit TaskLatch(std::size_t count) : remaining(count) {}
+
+    void
+    done()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0)
+            cv.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return remaining == 0; });
+    }
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+};
+
+} // namespace
+
 SweepResult
 runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
 {
@@ -171,29 +223,26 @@ runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
         }
     }
     if (!toRun.empty()) {
-        ThreadPool pool(opt.jobs);
+        // Own pool unless the caller supplied an executor; either way
+        // each task writes only its own results slot, so assembly is
+        // deterministic regardless of completion order or scheduler.
+        std::unique_ptr<ThreadPool> ownPool;
+        TaskExecutor *exec = opt.executor;
+        if (!exec) {
+            ownPool = std::make_unique<ThreadPool>(opt.jobs);
+            exec = ownPool.get();
+        }
+        TaskLatch latch(toRun.size());
         std::unique_ptr<ProgressMeter> meter;
         if (opt.progress) {
             meter = std::make_unique<ProgressMeter>(
                 sr.jobs.size(), sr.jobs.size() - toRun.size(),
-                pool.size());
+                exec->width());
         }
         for (std::size_t i : toRun) {
-            pool.submit([&sr, &cache, &keys, &meter, i] {
+            exec->submit([&sr, &cache, &keys, &meter, &latch, i] {
                 const auto jobStart = std::chrono::steady_clock::now();
-                const ExperimentJob &job = sr.jobs[i];
-                CachedResult e;
-                e.kind = job.kind;
-                if (job.kind == JobKind::Crash) {
-                    CrashRunResult cr = runCrashExperiment(
-                        job.workload, job.cfg, job.params,
-                        job.crashTick);
-                    e.run = std::move(cr.run);
-                    e.verdict = std::move(cr.verdict);
-                } else {
-                    e.run = runExperiment(job.workload, job.cfg,
-                                          job.params);
-                }
+                CachedResult e = executeJob(sr.jobs[i]);
                 cache.insert(keys[i], e);
                 sr.results[i] = std::move(e.run);
                 sr.verdicts[i] = std::move(e.verdict);
@@ -203,9 +252,10 @@ runJobs(std::vector<ExperimentJob> jobs, const RunOptions &opt)
                                        jobStart)
                                        .count());
                 }
+                latch.done();
             });
         }
-        pool.wait();
+        latch.wait();
     }
 
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exp/cache.hh"
+#include "exp/pool.hh"
 #include "exp/sweep.hh"
 #include "harness/runner.hh"
 
@@ -29,11 +30,21 @@ namespace asap
 /** Execution knobs for one sweep. */
 struct RunOptions
 {
-    /** Worker threads; 0 = ThreadPool::defaultThreads(). */
+    /** Worker threads; 0 = ThreadPool::defaultThreads(). Ignored when
+     *  an external executor is supplied. */
     unsigned jobs = 0;
 
     /** Cache to consult/fill; nullptr = the shared processCache(). */
     ResultCache *cache = nullptr;
+
+    /**
+     * Externally owned scheduler to run simulation tasks on; nullptr
+     * makes the engine spin up (and tear down) its own ThreadPool.
+     * A long-running service passes its shared scheduler here so
+     * every sweep competes under one admission policy instead of
+     * each one claiming the whole machine.
+     */
+    TaskExecutor *executor = nullptr;
 
     /**
      * Emit rate-limited progress/ETA lines (jobs done/total,
@@ -83,6 +94,15 @@ struct SweepResult
     const RunResult *find(const std::string &workload, ModelKind model,
                           PersistencyModel pm, unsigned cores) const;
 };
+
+/**
+ * Simulate one job (no cache, no pool): run or crash-inject as the
+ * kind demands and return the tagged payload. This is the unit of
+ * work everything above schedules — runJobs() wraps it in dedup +
+ * cache + assembly, and the svc daemon dispatches it from its own
+ * priority queue.
+ */
+CachedResult executeJob(const ExperimentJob &job);
 
 /** Run @p jobs (order preserved in the result). */
 SweepResult runJobs(std::vector<ExperimentJob> jobs,

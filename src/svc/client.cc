@@ -1,0 +1,357 @@
+#include "svc/client.hh"
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <unistd.h>
+
+#include "sim/log.hh"
+#include "svc/protocol.hh"
+#include "svc/wire.hh"
+
+namespace asap
+{
+
+SvcClient::SvcClient(ClientOptions options) : opt(std::move(options))
+{
+    if (opt.clientName.empty())
+        opt.clientName = "pid" + std::to_string(::getpid());
+}
+
+SvcClient::~SvcClient()
+{
+    close();
+}
+
+void
+SvcClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+SvcClient::connect(std::string *why)
+{
+    close();
+    std::string reason;
+    int backoff = opt.backoffMs;
+    const int attempts = std::max(1, opt.connectRetries);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+            backoff = std::min(backoff * 2, 2000);
+        }
+        reason.clear();
+        fd = connectUnix(opt.socketPath, opt.connectTimeoutMs,
+                         &reason);
+        if (fd < 0)
+            continue;
+
+        Json hello = Json::object();
+        hello.set("op", Json::str("hello"));
+        hello.set("client", Json::str(opt.clientName));
+        Json resp;
+        if (!roundTrip(hello, resp, opt.requestTimeoutMs, &reason)) {
+            close();
+            continue;
+        }
+        if (!resp.get("ok").asBool()) {
+            reason = "handshake rejected: " +
+                     resp.get("error").asString();
+            close();
+            continue;
+        }
+        const std::string salt = resp.get("salt").asString();
+        if (salt != cacheCodeSalt()) {
+            // Do not retry: the daemon is a different build and its
+            // result namespace is not ours.
+            if (why) {
+                *why = "code-salt mismatch: daemon has '" + salt +
+                       "', this binary has '" + cacheCodeSalt() +
+                       "' (restart the daemon from this build)";
+            }
+            close();
+            return false;
+        }
+        width = static_cast<unsigned>(resp.get("width").asU64(0));
+        return true;
+    }
+    if (why) {
+        *why = "cannot reach asapd at " + opt.socketPath + ": " +
+               (reason.empty() ? "connect failed" : reason);
+    }
+    return false;
+}
+
+bool
+SvcClient::ensureConnected(std::string *why)
+{
+    return fd >= 0 || connect(why);
+}
+
+bool
+SvcClient::roundTrip(const Json &req, Json &resp, int timeout_ms,
+                     std::string *why)
+{
+    if (fd < 0) {
+        if (why)
+            *why = "not connected";
+        return false;
+    }
+    FrameStatus st = writeFrame(fd, req.dump(), timeout_ms);
+    if (st != FrameStatus::Ok) {
+        if (why)
+            *why = std::string("request write failed: ") +
+                   toString(st);
+        return false;
+    }
+    std::string payload;
+    st = readFrame(fd, payload, timeout_ms);
+    if (st != FrameStatus::Ok) {
+        if (why)
+            *why = std::string("response read failed: ") +
+                   toString(st);
+        return false;
+    }
+    std::string parseWhy;
+    if (!Json::parse(payload, resp, &parseWhy)) {
+        if (why)
+            *why = "bad response JSON: " + parseWhy;
+        return false;
+    }
+    return true;
+}
+
+bool
+SvcClient::ping(std::string *why)
+{
+    if (!ensureConnected(why))
+        return false;
+    Json req = Json::object();
+    req.set("op", Json::str("ping"));
+    Json resp;
+    return roundTrip(req, resp, opt.requestTimeoutMs, why) &&
+           resp.get("ok").asBool();
+}
+
+bool
+SvcClient::stats(Json &out, std::string *why)
+{
+    if (!ensureConnected(why))
+        return false;
+    Json req = Json::object();
+    req.set("op", Json::str("stats"));
+    if (!roundTrip(req, out, opt.requestTimeoutMs, why))
+        return false;
+    if (!out.get("ok").asBool()) {
+        if (why)
+            *why = out.get("error").asString();
+        return false;
+    }
+    return true;
+}
+
+bool
+SvcClient::status(Json &out, std::string *why)
+{
+    if (!ensureConnected(why))
+        return false;
+    Json req = Json::object();
+    req.set("op", Json::str("status"));
+    if (!roundTrip(req, out, opt.requestTimeoutMs, why))
+        return false;
+    if (!out.get("ok").asBool()) {
+        if (why)
+            *why = out.get("error").asString();
+        return false;
+    }
+    return true;
+}
+
+bool
+SvcClient::cancel(const std::string &sweep, std::uint64_t *cancelled,
+                  std::string *why)
+{
+    if (!ensureConnected(why))
+        return false;
+    Json req = Json::object();
+    req.set("op", Json::str("cancel"));
+    req.set("sweep", Json::str(sweep));
+    Json resp;
+    if (!roundTrip(req, resp, opt.requestTimeoutMs, why))
+        return false;
+    if (!resp.get("ok").asBool()) {
+        if (why)
+            *why = resp.get("error").asString();
+        return false;
+    }
+    if (cancelled)
+        *cancelled = resp.get("cancelled").asU64(0);
+    return true;
+}
+
+bool
+SvcClient::shutdown(std::string *why)
+{
+    if (!ensureConnected(why))
+        return false;
+    Json req = Json::object();
+    req.set("op", Json::str("shutdown"));
+    Json resp;
+    if (!roundTrip(req, resp, opt.requestTimeoutMs, why))
+        return false;
+    if (!resp.get("ok").asBool()) {
+        if (why)
+            *why = resp.get("error").asString();
+        return false;
+    }
+    close(); // daemon closes its side after the ack
+    return true;
+}
+
+bool
+SvcClient::runJobs(const std::vector<ExperimentJob> &jobs,
+                   SweepResult &out, std::string *why)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (jobs.empty()) {
+        out = SweepResult{};
+        return true;
+    }
+    if (!ensureConnected(why))
+        return false;
+
+    // Key locally with the identical canonical text the daemon uses;
+    // the stream below is addressed by these keys.
+    std::vector<std::string> keys(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        keys[i] = jobKey(jobs[i]);
+
+    Json req = Json::object();
+    req.set("op", Json::str("submit"));
+    req.set("client", Json::str(opt.clientName));
+    req.set("priority", Json::number(std::int64_t(opt.priority)));
+    Json jobsJson = Json::array();
+    for (const ExperimentJob &job : jobs)
+        jobsJson.push(jobToJson(job));
+    req.set("jobs", std::move(jobsJson));
+
+    Json ack;
+    if (!roundTrip(req, ack, opt.requestTimeoutMs, why))
+        return false;
+    if (!ack.get("ok").asBool()) {
+        if (why)
+            *why = "submit rejected: " + ack.get("error").asString();
+        return false;
+    }
+
+    // Stream: one frame per unique key (result or cancellation),
+    // then the done frame.
+    std::unordered_map<std::string, CachedResult> entries;
+    std::size_t uniqueSimulated = 0;
+    std::vector<std::string> cancelledKeys;
+    while (true) {
+        std::string payload;
+        const FrameStatus st =
+            readFrame(fd, payload, opt.streamTimeoutMs);
+        if (st != FrameStatus::Ok) {
+            if (why)
+                *why = std::string("result stream broke: ") +
+                       toString(st);
+            close();
+            return false;
+        }
+        Json frame;
+        std::string parseWhy;
+        if (!Json::parse(payload, frame, &parseWhy)) {
+            if (why)
+                *why = "bad stream frame: " + parseWhy;
+            close();
+            return false;
+        }
+        if (frame.get("done").asBool())
+            break;
+        const std::string key = frame.get("key").asString();
+        if (key.empty()) {
+            if (why)
+                *why = "stream frame without a key";
+            close();
+            return false;
+        }
+        if (frame.get("cancelled").asBool()) {
+            cancelledKeys.push_back(key);
+            continue;
+        }
+        CachedResult entry;
+        std::string entryWhy;
+        if (!deserializeEntry(frame.get("entry").asString(), entry,
+                              &entryWhy)) {
+            if (why)
+                *why = "bad result entry for " + key + ": " +
+                       entryWhy;
+            close();
+            return false;
+        }
+        if (!frame.get("cached").asBool())
+            ++uniqueSimulated;
+        entries.emplace(key, std::move(entry));
+    }
+
+    if (!cancelledKeys.empty()) {
+        if (why) {
+            *why = std::to_string(cancelledKeys.size()) +
+                   " job(s) cancelled by the daemon (cancel op or "
+                   "shutdown), first key " + cancelledKeys.front();
+        }
+        return false;
+    }
+
+    // Reassemble with the engine's ordering guarantee: results[i]
+    // belongs to jobs[i], duplicates copy their leader's entry.
+    out = SweepResult{};
+    out.jobs = jobs;
+    out.results.resize(jobs.size());
+    out.verdicts.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto it = entries.find(keys[i]);
+        if (it == entries.end()) {
+            if (why)
+                *why = "daemon stream missing key " + keys[i];
+            return false;
+        }
+        out.results[i] = it->second.run;
+        out.verdicts[i] = it->second.verdict;
+    }
+    out.uniqueRuns = uniqueSimulated;
+    out.cacheHits = jobs.size() - uniqueSimulated;
+    out.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return true;
+}
+
+SweepResult
+daemonRunJobs(const std::string &socket_path,
+              std::vector<ExperimentJob> jobs, const RunOptions &opt,
+              int priority)
+{
+    (void)opt;
+    ClientOptions copt;
+    copt.socketPath = socket_path;
+    copt.priority = priority;
+    SvcClient client(copt);
+    SweepResult sr;
+    std::string why;
+    if (!client.runJobs(jobs, sr, &why))
+        fatal("daemon sweep failed: ", why);
+    return sr;
+}
+
+} // namespace asap

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Client side of the asapd protocol.
+ *
+ * SvcClient speaks the framed-JSON protocol (protocol.hh / wire.hh)
+ * with connect retries, bounded backoff, and per-frame timeouts.
+ * Its runJobs() has the exact shape and accounting of the engine's:
+ * it computes the same job keys locally, streams the daemon's
+ * per-unique-key results, and reassembles a SweepResult whose
+ * results[i]/verdicts[i] ordering, uniqueRuns and cacheHits match
+ * what the batch path would report — so a bench pointed at a daemon
+ * emits byte-identical tables and CSV artifacts.
+ *
+ * Every method is non-fatal (returns false + reason); benches that
+ * prefer to die on a broken daemon use daemonRunJobs().
+ */
+
+#ifndef ASAP_SVC_CLIENT_HH
+#define ASAP_SVC_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "svc/json.hh"
+
+namespace asap
+{
+
+/** Connection/retry tuning for one client. */
+struct ClientOptions
+{
+    std::string socketPath;   //!< daemon socket (required)
+    std::string clientName;   //!< fair-share bucket; "" = "pid<pid>"
+    int priority = 0;         //!< scheduling priority for submits
+
+    int connectTimeoutMs = 2000;  //!< per connect() attempt
+    int connectRetries = 5;       //!< attempts before giving up
+    int backoffMs = 100;          //!< initial retry backoff (doubles,
+                                  //!< capped at 2s)
+    int requestTimeoutMs = 30000; //!< control-op round trip
+    /** Per-frame deadline while a sweep streams. Generous: one frame
+     *  arrives per finished simulation, which can be minutes apart on
+     *  a loaded daemon. */
+    int streamTimeoutMs = 3600000;
+};
+
+/** One connection to a running asapd. */
+class SvcClient
+{
+  public:
+    explicit SvcClient(ClientOptions opt);
+
+    /** Closes the connection. */
+    ~SvcClient();
+
+    SvcClient(const SvcClient &) = delete;
+    SvcClient &operator=(const SvcClient &) = delete;
+
+    /**
+     * Connect (with retries + backoff) and handshake. The handshake
+     * verifies the daemon's cache code salt matches this binary's —
+     * mismatched builds must not share a result namespace.
+     * @return true on success; @p why filled otherwise
+     */
+    bool connect(std::string *why = nullptr);
+
+    void close();
+    bool connected() const { return fd >= 0; }
+
+    /**
+     * Run @p jobs on the daemon; fills @p out like runJobs() would.
+     * @return false (why filled) on protocol error, salt mismatch,
+     *         or if the daemon cancelled any of the jobs
+     */
+    bool runJobs(const std::vector<ExperimentJob> &jobs,
+                 SweepResult &out, std::string *why = nullptr);
+
+    /** Control operations (auto-connect if needed). */
+    bool ping(std::string *why = nullptr);
+    bool stats(Json &out, std::string *why = nullptr);
+    bool status(Json &out, std::string *why = nullptr);
+    bool cancel(const std::string &sweep, std::uint64_t *cancelled,
+                std::string *why = nullptr);
+    bool shutdown(std::string *why = nullptr);
+
+    /** The daemon's reported worker width (0 before connect()). */
+    unsigned serverWidth() const { return width; }
+
+  private:
+    /** Send @p req, read one response frame into @p resp. */
+    bool roundTrip(const Json &req, Json &resp, int timeout_ms,
+                   std::string *why);
+    bool ensureConnected(std::string *why);
+
+    ClientOptions opt;
+    int fd = -1;
+    unsigned width = 0;
+};
+
+/**
+ * Bench adapter with runJobs() shape: execute @p jobs on the daemon
+ * at @p socket_path, fatal on any failure (a bench pointed at a
+ * broken daemon should die loudly, not silently fall back and hide a
+ * deployment problem). @p opt is accepted for signature parity; the
+ * daemon owns scheduling and caching.
+ */
+SweepResult daemonRunJobs(const std::string &socket_path,
+                          std::vector<ExperimentJob> jobs,
+                          const RunOptions &opt = {},
+                          int priority = 0);
+
+} // namespace asap
+
+#endif // ASAP_SVC_CLIENT_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * asapd: the always-on sweep service.
+ *
+ * One daemon process owns the hot state a cold bench pays for on
+ * every launch — the in-memory result cache, the memoized trace set,
+ * the worker pool — and serves sweep and crash-campaign requests from
+ * many concurrent clients over a Unix-domain socket (framing in
+ * protocol.hh, job codec in wire.hh).
+ *
+ * Execution model: every submitted sweep is deduplicated by
+ * jobKey() exactly as the batch engine does, admission-time cache
+ * hits stream back immediately, and the remaining unique jobs are
+ * queued on the PriorityScheduler under the client's name — so the
+ * daemon-served result set is keyed identically to the batch path's
+ * and artifacts reassembled by the client are byte-identical.
+ *
+ * Shutdown (SIGTERM/SIGINT or the `shutdown` op) is graceful: stop
+ * accepting, cancel queued jobs (each streams a cancellation frame to
+ * its waiting client), drain in-flight simulations, release any held
+ * dist leases, join connection threads, unlink the socket.
+ */
+
+#ifndef ASAP_SVC_DAEMON_HH
+#define ASAP_SVC_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/lease.hh"
+#include "exp/cache.hh"
+#include "exp/pool.hh"
+#include "svc/json.hh"
+#include "svc/scheduler.hh"
+
+namespace asap
+{
+
+/** Daemon configuration. */
+struct DaemonOptions
+{
+    std::string socketPath;   //!< Unix socket to listen on (required)
+    unsigned workers = 0;     //!< simulation threads; 0 = default
+    std::string cacheDir;     //!< disk cache tier; "" = memory only
+    double leaseTtlSeconds = 60.0; //!< dist-lease TTL over cacheDir
+    /** Coordinate with concurrent shards/daemons on cacheDir through
+     *  dist leases (ignored when cacheDir is empty). */
+    bool useLeases = true;
+    /** Install SIGTERM/SIGINT handlers that trigger graceful
+     *  shutdown (the bench binary does; in-process tests do not). */
+    bool handleSignals = false;
+};
+
+/** Lifetime counters for the `stats` op. */
+struct DaemonStats
+{
+    std::uint64_t connections = 0;     //!< accepted since start
+    std::uint64_t sweepsAdmitted = 0;  //!< submit ops accepted
+    std::uint64_t jobsAdmitted = 0;    //!< jobs across those submits
+    std::uint64_t uniqueAdmitted = 0;  //!< post-dedup unique keys
+    std::uint64_t resultsStreamed = 0; //!< result frames written
+    std::uint64_t eventsExecuted = 0;  //!< kernel events simulated
+    std::uint64_t hostNs = 0;          //!< host ns spent simulating
+    double uptimeSeconds = 0.0;
+
+    /** Aggregate simulation throughput (0 until a job has run). */
+    double eventsPerSecond() const
+    {
+        return hostNs == 0 ? 0.0
+                           : static_cast<double>(eventsExecuted) *
+                                 1e9 / static_cast<double>(hostNs);
+    }
+};
+
+/**
+ * The service. Construct, start(), and either wait for stop (the
+ * bench) or drive it from a test and requestStop() when done.
+ */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonOptions opt);
+
+    /** Stops the service if still running. */
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind the socket and start the accept thread.
+     * @param why when non-null, receives the failure reason
+     * @return false (nothing started) on listen failure
+     */
+    bool start(std::string *why = nullptr);
+
+    /** Trigger graceful shutdown (safe from any thread). */
+    void requestStop();
+
+    /** Block until the service has fully shut down. */
+    void waitStopped();
+
+    /** True between successful start() and completed shutdown. */
+    bool running() const { return live.load(); }
+
+    /** The cache the daemon serves from (tests pre-warm through it). */
+    ResultCache &cache() { return resultCache; }
+
+    /** Scheduler snapshot + lifetime counters. */
+    SchedStats schedulerStats() const;
+    DaemonStats stats() const;
+
+  private:
+    struct SweepSession;
+
+    void acceptLoop();
+    void connectionLoop(int fd);
+    /** One request frame; @return false to close the connection. */
+    bool handleRequest(int fd, const std::string &payload);
+    bool handleSubmit(int fd, const Json &req);
+    Json statusJson();
+    Json statsJson();
+
+    /** Simulate (or cache-serve) one unique job for @p session. */
+    void runJobTask(const std::shared_ptr<SweepSession> &session,
+                    const ExperimentJob &job, const std::string &key);
+
+    void shutdownSequence();
+
+    DaemonOptions opt;
+    ResultCache resultCache;
+    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<PriorityScheduler> sched;
+    std::unique_ptr<LeaseManager> leases;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1}; //!< self-pipe: signals/requestStop
+    std::thread acceptor;
+    std::mutex connMu;
+    std::vector<std::thread> connThreads;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> live{false};
+    std::mutex stopMu;
+    bool stopped = false;
+    std::condition_variable stopCv;
+
+    std::mutex sessionMu;
+    std::map<std::uint64_t, std::shared_ptr<SweepSession>> sessions;
+    std::uint64_t nextSweepId = 1;
+
+    std::chrono::steady_clock::time_point startedAt;
+    std::atomic<std::uint64_t> nConnections{0};
+    std::atomic<std::uint64_t> nSweeps{0};
+    std::atomic<std::uint64_t> nJobs{0};
+    std::atomic<std::uint64_t> nUnique{0};
+    std::atomic<std::uint64_t> nResultsStreamed{0};
+    std::atomic<std::uint64_t> nEvents{0};
+    std::atomic<std::uint64_t> nHostNs{0};
+};
+
+} // namespace asap
+
+#endif // ASAP_SVC_DAEMON_HH

@@ -1,0 +1,594 @@
+#include "svc/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace asap
+{
+
+namespace
+{
+
+const Json kNullJson;
+const std::string kEmptyString;
+
+/** Recursive-descent parser over a bounded view. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *why)
+        : s(text), why(why)
+    {
+    }
+
+    bool
+    run(Json &out)
+    {
+        skipSpace();
+        if (!value(out, 0))
+            return false;
+        skipSpace();
+        if (pos != s.size())
+            return fail("trailing garbage after value");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 32;
+
+    bool
+    fail(const char *reason)
+    {
+        if (why && why->empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%s (at byte %zu)",
+                          reason, pos);
+            *why = buf;
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    value(Json &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = Json::null();
+            return true;
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = Json::boolean(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = Json::boolean(false);
+            return true;
+          case '"':
+            return stringValue(out);
+          case '[':
+            return arrayValue(out, depth);
+          case '{':
+            return objectValue(out, depth);
+          default:
+            return numberValue(out);
+        }
+    }
+
+    bool
+    stringBody(std::string &out)
+    {
+        ++pos; // opening quote
+        out.clear();
+        while (true) {
+            if (pos >= s.size())
+                return fail("unterminated string");
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos;
+                continue;
+            }
+            if (++pos >= s.size())
+                return fail("unterminated escape");
+            switch (s[pos]) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos + 4 >= s.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 1; i <= 4; ++i) {
+                    const char h = s[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                pos += 4;
+                // The protocol only emits \u00XX for control bytes;
+                // encode the general case as UTF-8 anyway.
+                if (code < 0x80) {
+                    out.push_back(char(code));
+                } else if (code < 0x800) {
+                    out.push_back(char(0xC0 | (code >> 6)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(char(0xE0 | (code >> 12)));
+                    out.push_back(char(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(char(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+            ++pos;
+        }
+    }
+
+    bool
+    stringValue(Json &out)
+    {
+        std::string body;
+        if (!stringBody(body))
+            return false;
+        out = Json::str(std::move(body));
+        return true;
+    }
+
+    bool
+    numberValue(Json &out)
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        if (pos >= s.size() || !std::isdigit(
+                static_cast<unsigned char>(s[pos]))) {
+            return fail("bad number");
+        }
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() || !std::isdigit(
+                    static_cast<unsigned char>(s[pos]))) {
+                return fail("bad number: no digits after '.'");
+            }
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos]))) {
+                ++pos;
+            }
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (pos >= s.size() || !std::isdigit(
+                    static_cast<unsigned char>(s[pos]))) {
+                return fail("bad number: empty exponent");
+            }
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos]))) {
+                ++pos;
+            }
+        }
+        out = Json::numberText(s.substr(start, pos - start));
+        return true;
+    }
+
+    bool
+    arrayValue(Json &out, int depth)
+    {
+        ++pos; // '['
+        out = Json::array();
+        skipSpace();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            skipSpace();
+            if (!value(elem, depth + 1))
+                return false;
+            out.push(std::move(elem));
+            skipSpace();
+            if (pos >= s.size())
+                return fail("unterminated array");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    objectValue(Json &out, int depth)
+    {
+        ++pos; // '{'
+        out = Json::object();
+        skipSpace();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!stringBody(key))
+                return false;
+            skipSpace();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':' after object key");
+            ++pos;
+            Json val;
+            skipSpace();
+            if (!value(val, depth + 1))
+                return false;
+            out.set(key, std::move(val));
+            skipSpace();
+            if (pos >= s.size())
+                return fail("unterminated object");
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &s;
+    std::string *why;
+    std::size_t pos = 0;
+};
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              unsigned(static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+dumpTo(const Json &v, std::string &out)
+{
+    switch (v.type()) {
+      case JsonType::Null:
+        out += "null";
+        break;
+      case JsonType::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonType::Number:
+        out += v.numberLiteral();
+        break;
+      case JsonType::String:
+        appendEscaped(out, v.asString());
+        break;
+      case JsonType::Array: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            dumpTo(v.at(i), out);
+        }
+        out.push_back(']');
+        break;
+      }
+      case JsonType::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &kv : v.members()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            appendEscaped(out, kv.first);
+            out.push_back(':');
+            dumpTo(kv.second, out);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Json
+Json::null()
+{
+    return Json();
+}
+
+Json
+Json::boolean(bool b)
+{
+    Json v;
+    v.ty = JsonType::Bool;
+    v.b = b;
+    return v;
+}
+
+Json
+Json::number(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return numberText(buf);
+}
+
+Json
+Json::number(std::int64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return numberText(buf);
+}
+
+Json
+Json::number(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return numberText(buf);
+}
+
+Json
+Json::numberText(std::string literal)
+{
+    Json v;
+    v.ty = JsonType::Number;
+    v.text = std::move(literal);
+    return v;
+}
+
+Json
+Json::str(std::string s)
+{
+    Json v;
+    v.ty = JsonType::String;
+    v.text = std::move(s);
+    return v;
+}
+
+Json
+Json::array()
+{
+    Json v;
+    v.ty = JsonType::Array;
+    return v;
+}
+
+Json
+Json::object()
+{
+    Json v;
+    v.ty = JsonType::Object;
+    return v;
+}
+
+bool
+Json::asBool(bool fallback) const
+{
+    return ty == JsonType::Bool ? b : fallback;
+}
+
+std::uint64_t
+Json::asU64(std::uint64_t fallback) const
+{
+    if (ty != JsonType::Number || text.empty() || text[0] == '-')
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return fallback;
+    return v;
+}
+
+std::int64_t
+Json::asI64(std::int64_t fallback) const
+{
+    if (ty != JsonType::Number || text.empty())
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0')
+        return fallback;
+    return v;
+}
+
+double
+Json::asDouble(double fallback) const
+{
+    if (ty != JsonType::Number || text.empty())
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        return fallback;
+    return v;
+}
+
+const std::string &
+Json::asString() const
+{
+    return ty == JsonType::String ? text : kEmptyString;
+}
+
+const std::string &
+Json::numberLiteral() const
+{
+    return ty == JsonType::Number ? text : kEmptyString;
+}
+
+std::size_t
+Json::size() const
+{
+    if (ty == JsonType::Array)
+        return elems.size();
+    if (ty == JsonType::Object)
+        return membs.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    if (ty != JsonType::Array || i >= elems.size())
+        return kNullJson;
+    return elems[i];
+}
+
+void
+Json::push(Json v)
+{
+    ty = JsonType::Array;
+    elems.push_back(std::move(v));
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    if (ty == JsonType::Object) {
+        for (const auto &kv : membs) {
+            if (kv.first == key)
+                return kv.second;
+        }
+    }
+    return kNullJson;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return !get(key).isNull() || [this, &key] {
+        for (const auto &kv : membs) {
+            if (kv.first == key)
+                return true;
+        }
+        return false;
+    }();
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    ty = JsonType::Object;
+    for (auto &kv : membs) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    membs.emplace_back(key, std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    return membs;
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(*this, out);
+    return out;
+}
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *why)
+{
+    if (why)
+        why->clear();
+    Parser p(text, why);
+    return p.run(out);
+}
+
+} // namespace asap

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON value for the asapd wire protocol.
+ *
+ * Two properties matter more than generality here:
+ *
+ *  - **Numbers round-trip exactly.** A job's maxRunTicks default is
+ *    2^64 - 1 — outside double precision — and a one-ULP wobble would
+ *    change the canonical job text and therefore the cache key, so
+ *    numbers are stored as their literal text and only converted on
+ *    access (u64 / i64 / double as the caller demands).
+ *  - **Objects are ordered.** Members serialize in insertion order,
+ *    so a frame built twice from the same inputs is byte-identical
+ *    (tests diff raw frames).
+ *
+ * The parser is non-fatal (malformed client bytes must never kill
+ * the daemon), depth-limited, and rejects trailing garbage.
+ */
+
+#ifndef ASAP_SVC_JSON_HH
+#define ASAP_SVC_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asap
+{
+
+/** JSON value kinds. */
+enum class JsonType
+{
+    Null,
+    Bool,
+    Number, //!< literal text, converted lazily
+    String,
+    Array,
+    Object,
+};
+
+/** One JSON value (tree). Copyable; cheap moves. */
+class Json
+{
+  public:
+    Json() = default;
+
+    /** Leaf constructors. */
+    static Json null();
+    static Json boolean(bool b);
+    static Json number(std::uint64_t v);
+    static Json number(std::int64_t v);
+    static Json number(double v); //!< rendered %.17g (round-trips)
+    /** A number from already-canonical literal text (trusted). */
+    static Json numberText(std::string literal);
+    static Json str(std::string s);
+    static Json array();
+    static Json object();
+
+    JsonType type() const { return ty; }
+    bool isNull() const { return ty == JsonType::Null; }
+    bool isBool() const { return ty == JsonType::Bool; }
+    bool isNumber() const { return ty == JsonType::Number; }
+    bool isString() const { return ty == JsonType::String; }
+    bool isArray() const { return ty == JsonType::Array; }
+    bool isObject() const { return ty == JsonType::Object; }
+
+    /** Leaf accessors; defaults returned on type mismatch. */
+    bool asBool(bool fallback = false) const;
+    std::uint64_t asU64(std::uint64_t fallback = 0) const;
+    std::int64_t asI64(std::int64_t fallback = 0) const;
+    double asDouble(double fallback = 0.0) const;
+    const std::string &asString() const; //!< empty on mismatch
+    /** The number's literal text ("" when not a number). */
+    const std::string &numberLiteral() const;
+
+    /** Array access. */
+    std::size_t size() const; //!< elements / members; 0 for leaves
+    const Json &at(std::size_t i) const; //!< null sentinel if absent
+    void push(Json v);
+
+    /** Object access (insertion-ordered). */
+    const Json &get(const std::string &key) const; //!< null if absent
+    bool has(const std::string &key) const;
+    void set(const std::string &key, Json v); //!< replaces in place
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Compact serialization (no whitespace, escaped control chars). */
+    std::string dump() const;
+
+    /**
+     * Parse @p text (whole-string: trailing non-space is an error).
+     * @param why when non-null, receives a human-readable reason on
+     *            failure
+     * @return true and fills @p out on success
+     */
+    static bool parse(const std::string &text, Json &out,
+                      std::string *why = nullptr);
+
+  private:
+    JsonType ty = JsonType::Null;
+    bool b = false;
+    std::string text; //!< number literal or string payload
+    std::vector<Json> elems;
+    std::vector<std::pair<std::string, Json>> membs;
+};
+
+} // namespace asap
+
+#endif // ASAP_SVC_JSON_HH

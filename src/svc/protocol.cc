@@ -1,0 +1,321 @@
+#include "svc/protocol.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace asap
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Absolute deadline from a relative timeout (<0 = no deadline). */
+struct Deadline
+{
+    explicit Deadline(int timeout_ms)
+        : infinite(timeout_ms < 0),
+          at(Clock::now() + std::chrono::milliseconds(
+                                infinite ? 0 : timeout_ms))
+    {
+    }
+
+    /** Remaining milliseconds for poll(): -1 = infinite, 0 = expired. */
+    int
+    remainingMs() const
+    {
+        if (infinite)
+            return -1;
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(at - Clock::now()).count();
+        return left <= 0 ? 0 : static_cast<int>(left);
+    }
+
+    const bool infinite;
+    const Clock::time_point at;
+};
+
+/** Wait for @p events on @p fd until the deadline.
+ *  @return 1 ready, 0 timed out, -1 error */
+int
+waitFor(int fd, short events, const Deadline &deadline)
+{
+    while (true) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = events;
+        pfd.revents = 0;
+        const int remaining = deadline.remainingMs();
+        if (!deadline.infinite && remaining == 0)
+            return 0;
+        const int rc = ::poll(&pfd, 1, remaining);
+        if (rc > 0)
+            return 1;
+        if (rc == 0)
+            return 0;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+/**
+ * Read exactly @p len bytes. @p any_read reports whether byte one
+ * arrived, so the caller can tell clean EOF from a truncated frame.
+ */
+FrameStatus
+readFully(int fd, void *buf, std::size_t len, const Deadline &deadline,
+          bool *any_read = nullptr)
+{
+    char *p = static_cast<char *>(buf);
+    std::size_t got = 0;
+    while (got < len) {
+        const int ready = waitFor(fd, POLLIN, deadline);
+        if (ready == 0)
+            return FrameStatus::Timeout;
+        if (ready < 0)
+            return FrameStatus::Error;
+        const ssize_t n = ::read(fd, p + got, len - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            if (any_read)
+                *any_read = true;
+            continue;
+        }
+        if (n == 0)
+            return got == 0 ? FrameStatus::Eof : FrameStatus::Error;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+            continue;
+        return FrameStatus::Error;
+    }
+    return FrameStatus::Ok;
+}
+
+FrameStatus
+writeFully(int fd, const void *buf, std::size_t len,
+           const Deadline &deadline)
+{
+    const char *p = static_cast<const char *>(buf);
+    std::size_t sent = 0;
+    while (sent < len) {
+        const int ready = waitFor(fd, POLLOUT, deadline);
+        if (ready == 0)
+            return FrameStatus::Timeout;
+        if (ready < 0)
+            return FrameStatus::Error;
+        // MSG_NOSIGNAL: a vanished peer must produce EPIPE, not kill
+        // the daemon with SIGPIPE.
+        const ssize_t n =
+            ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
+            continue;
+        }
+        return FrameStatus::Error;
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr,
+             std::string *why)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (why)
+            *why = "socket path too long: " + path;
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+void
+setWhyErrno(std::string *why, const char *what)
+{
+    if (why)
+        *why = std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+const char *
+toString(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok: return "ok";
+      case FrameStatus::Eof: return "eof";
+      case FrameStatus::Timeout: return "timeout";
+      case FrameStatus::TooLarge: return "too-large";
+      case FrameStatus::Error: return "error";
+    }
+    return "?";
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, int timeout_ms)
+{
+    const Deadline deadline(timeout_ms);
+
+    unsigned char header[4];
+    bool anyRead = false;
+    FrameStatus st =
+        readFully(fd, header, sizeof(header), deadline, &anyRead);
+    if (st == FrameStatus::Error && !anyRead)
+        return FrameStatus::Error;
+    if (st != FrameStatus::Ok)
+        return st;
+
+    const std::uint32_t len = std::uint32_t(header[0]) |
+                              std::uint32_t(header[1]) << 8 |
+                              std::uint32_t(header[2]) << 16 |
+                              std::uint32_t(header[3]) << 24;
+    if (len > kMaxFrameBytes)
+        return FrameStatus::TooLarge;
+
+    payload.resize(len);
+    if (len == 0)
+        return FrameStatus::Ok;
+    st = readFully(fd, &payload[0], len, deadline);
+    // EOF inside the payload means the peer truncated the message.
+    return st == FrameStatus::Eof ? FrameStatus::Error : st;
+}
+
+FrameStatus
+writeFrame(int fd, const std::string &payload, int timeout_ms)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return FrameStatus::TooLarge;
+    const Deadline deadline(timeout_ms);
+
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    unsigned char header[4] = {
+        static_cast<unsigned char>(len & 0xFF),
+        static_cast<unsigned char>((len >> 8) & 0xFF),
+        static_cast<unsigned char>((len >> 16) & 0xFF),
+        static_cast<unsigned char>((len >> 24) & 0xFF),
+    };
+    const FrameStatus st =
+        writeFully(fd, header, sizeof(header), deadline);
+    if (st != FrameStatus::Ok)
+        return st;
+    if (payload.empty())
+        return FrameStatus::Ok;
+    return writeFully(fd, payload.data(), payload.size(), deadline);
+}
+
+int
+listenUnix(const std::string &path, std::string *why)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, why))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        setWhyErrno(why, "socket");
+        return -1;
+    }
+
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (errno != EADDRINUSE) {
+            setWhyErrno(why, "bind");
+            ::close(fd);
+            return -1;
+        }
+        // A socket file exists. Reclaim it only if nothing accepts on
+        // it — the stale leftover of a killed daemon. A live listener
+        // is a hard error: two daemons must not fight over one path.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (probe >= 0 &&
+            ::connect(probe, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            ::close(probe);
+            ::close(fd);
+            if (why)
+                *why = "another daemon is listening on " + path;
+            return -1;
+        }
+        if (probe >= 0)
+            ::close(probe);
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            setWhyErrno(why, "bind (after reclaiming stale socket)");
+            ::close(fd);
+            return -1;
+        }
+    }
+
+    if (::listen(fd, 64) != 0) {
+        setWhyErrno(why, "listen");
+        ::close(fd);
+        ::unlink(path.c_str());
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, int timeout_ms, std::string *why)
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(path, addr, why))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        setWhyErrno(why, "socket");
+        return -1;
+    }
+
+    // Non-blocking connect so the deadline also bounds this step.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            setWhyErrno(why, "connect");
+            ::close(fd);
+            return -1;
+        }
+        const Deadline deadline(timeout_ms);
+        const int ready = waitFor(fd, POLLOUT, deadline);
+        if (ready <= 0) {
+            if (why)
+                *why = ready == 0 ? "connect timed out"
+                                  : "connect poll failed";
+            ::close(fd);
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            if (why)
+                *why = std::string("connect: ") +
+                       std::strerror(err ? err : errno);
+            ::close(fd);
+            return -1;
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    return fd;
+}
+
+} // namespace asap

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * asapd wire framing: length-prefixed JSON over a Unix-domain socket.
+ *
+ * Every message is one frame: a 4-byte little-endian payload length
+ * followed by that many bytes of UTF-8 JSON text. Framing and JSON
+ * are separate layers on purpose — readFrame() can reject oversized
+ * or truncated frames without parsing a byte, and the tests exercise
+ * the framing with deliberate garbage.
+ *
+ * All reads and writes take a timeout (poll()-based), so a stalled or
+ * vanished peer can never wedge a daemon connection thread, and a
+ * client never blocks forever on a hung daemon.
+ */
+
+#ifndef ASAP_SVC_PROTOCOL_HH
+#define ASAP_SVC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace asap
+{
+
+/** Upper bound on one frame's payload (rejects runaway lengths from
+ *  corrupt or hostile peers before any allocation). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20; // 64 MiB
+
+/** What a framed read/write attempt produced. */
+enum class FrameStatus
+{
+    Ok,       //!< full frame transferred
+    Eof,      //!< peer closed cleanly before/at a frame boundary
+    Timeout,  //!< deadline expired mid-transfer
+    TooLarge, //!< advertised length exceeds kMaxFrameBytes
+    Error,    //!< socket error (errno-level) or mid-frame close
+};
+
+/** Printable name for FrameStatus (logs and test failures). */
+const char *toString(FrameStatus status);
+
+/**
+ * Read one frame from @p fd into @p payload.
+ * @param timeout_ms total deadline for the whole frame; <0 = block
+ * @return Eof only when the peer closed before byte one — a close
+ *         mid-frame is Error (the message was truncated)
+ */
+FrameStatus readFrame(int fd, std::string &payload, int timeout_ms);
+
+/** Write one frame (length prefix + @p payload) to @p fd. */
+FrameStatus writeFrame(int fd, const std::string &payload,
+                       int timeout_ms);
+
+/**
+ * Create, bind and listen on a Unix-domain socket at @p path.
+ * An existing socket file is reclaimed only when nothing accepts on
+ * it (stale leftover of a killed daemon); a live listener is an
+ * error — two daemons must not fight over one path.
+ * @param why when non-null, receives the failure reason
+ * @return listening fd (close()-owned by the caller), or -1
+ */
+int listenUnix(const std::string &path, std::string *why = nullptr);
+
+/**
+ * Connect to the daemon socket at @p path.
+ * @param timeout_ms connect deadline; <0 = block
+ * @return connected fd, or -1 (why filled when non-null)
+ */
+int connectUnix(const std::string &path, int timeout_ms,
+                std::string *why = nullptr);
+
+} // namespace asap
+
+#endif // ASAP_SVC_PROTOCOL_HH

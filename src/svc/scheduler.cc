@@ -1,0 +1,164 @@
+#include "svc/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace asap
+{
+
+namespace
+{
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+} // namespace
+
+PriorityScheduler::PriorityScheduler(ThreadPool &pool) : pool(pool)
+{
+}
+
+PriorityScheduler::~PriorityScheduler()
+{
+    drain();
+}
+
+void
+PriorityScheduler::enqueue(SchedTask task)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    Entry e;
+    e.seq = nextSeq++;
+    e.task = std::move(task);
+    clients[e.task.client].queued++;
+    pending.push_back(std::move(e));
+    pump(lock);
+}
+
+void
+PriorityScheduler::submit(std::function<void()> task)
+{
+    SchedTask t;
+    t.fn = std::move(task);
+    enqueue(std::move(t));
+}
+
+std::size_t
+PriorityScheduler::pickLocked() const
+{
+    std::size_t best = npos;
+    int bestPrio = 0;
+    std::size_t bestLoad = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const Entry &e = pending[i];
+        const auto it = clients.find(e.task.client);
+        const std::size_t load =
+            it == clients.end() ? 0
+                                : it->second.running +
+                                      it->second.started;
+        if (best == npos || e.task.priority > bestPrio ||
+            (e.task.priority == bestPrio &&
+             (load < bestLoad ||
+              (load == bestLoad &&
+               e.seq < pending[best].seq)))) {
+            best = i;
+            bestPrio = e.task.priority;
+            bestLoad = load;
+        }
+    }
+    return best;
+}
+
+void
+PriorityScheduler::pump(std::unique_lock<std::mutex> &lock)
+{
+    while (running < pool.size() && !pending.empty()) {
+        const std::size_t i = pickLocked();
+        if (i == npos)
+            break;
+        Entry e = std::move(pending[i]);
+        pending.erase(pending.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+
+        ClientShare &share = clients[e.task.client];
+        --share.queued;
+        ++share.running;
+        ++share.started;
+        // Round-robin resets once a client's queue drains: its next
+        // burst starts on equal footing instead of paying for the
+        // jobs it already ran.
+        if (share.queued == 0)
+            share.started = 0;
+        ++running;
+
+        auto fn = std::make_shared<SchedTask>(std::move(e.task));
+        pool.submit([this, fn] {
+            if (fn->fn)
+                fn->fn();
+            std::unique_lock<std::mutex> inner(mu);
+            ClientShare &s = clients[fn->client];
+            --s.running;
+            ++s.completed;
+            --running;
+            ++completedCount;
+            pump(inner);
+            if (running == 0 && pending.empty())
+                idle.notify_all();
+        });
+    }
+    (void)lock;
+}
+
+std::size_t
+PriorityScheduler::cancelTag(std::uint64_t tag)
+{
+    if (tag == 0)
+        return 0;
+    std::vector<Entry> removed;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        auto split = std::stable_partition(
+            pending.begin(), pending.end(),
+            [tag](const Entry &e) { return e.task.tag != tag; });
+        for (auto it = split; it != pending.end(); ++it) {
+            ClientShare &share = clients[it->task.client];
+            --share.queued;
+            if (share.queued == 0)
+                share.started = 0;
+            removed.push_back(std::move(*it));
+        }
+        pending.erase(split, pending.end());
+        cancelledCount += removed.size();
+        if (running == 0 && pending.empty())
+            idle.notify_all();
+    }
+    // Callbacks run unlocked: they typically take the daemon's
+    // session locks, which in turn call back into the scheduler.
+    for (Entry &e : removed) {
+        if (e.task.onCancel)
+            e.task.onCancel();
+    }
+    return removed.size();
+}
+
+void
+PriorityScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock,
+              [this] { return running == 0 && pending.empty(); });
+}
+
+SchedStats
+PriorityScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    SchedStats s;
+    s.queued = pending.size();
+    s.inFlight = running;
+    s.completed = completedCount;
+    s.cancelled = cancelledCount;
+    for (const auto &kv : clients)
+        s.perClient.emplace_back(kv.first, kv.second.completed);
+    return s;
+}
+
+} // namespace asap

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Priority queue with per-client fair sharing over a ThreadPool.
+ *
+ * asapd serves many clients from one set of workers; the scheduler
+ * decides who runs next. Tasks are admitted to the pool only while
+ * fewer than `width` are in flight, so the queue — not the pool's
+ * FIFO — always holds the pending work and a late high-priority
+ * submit overtakes everything still queued.
+ *
+ * Pick order (deterministic):
+ *   1. highest priority;
+ *   2. among those, the client with the fewest running + recently
+ *      started tasks (a round-robin that resets when a client's
+ *      queue drains, so past heavy use never starves a client that
+ *      comes back later);
+ *   3. ties broken by submission order.
+ *
+ * cancelTag() removes queued tasks before they run (running tasks
+ * finish — simulations are not preemptible) and fires each task's
+ * onCancel callback so the daemon can notify the waiting client.
+ */
+
+#ifndef ASAP_SVC_SCHEDULER_HH
+#define ASAP_SVC_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/pool.hh"
+
+namespace asap
+{
+
+/** One schedulable unit of work. */
+struct SchedTask
+{
+    std::string client;    //!< fair-share bucket ("" = anonymous)
+    int priority = 0;      //!< higher runs first
+    std::uint64_t tag = 0; //!< cancellation group (0 = uncancellable)
+    std::function<void()> fn;       //!< the work
+    std::function<void()> onCancel; //!< fired by cancelTag() instead
+};
+
+/** Queue/throughput snapshot for the daemon's `stats` op. */
+struct SchedStats
+{
+    std::size_t queued = 0;       //!< admitted, not yet started
+    std::size_t inFlight = 0;     //!< currently on a worker
+    std::uint64_t completed = 0;  //!< tasks finished since start
+    std::uint64_t cancelled = 0;  //!< tasks removed by cancelTag()
+    /** completed-task count per client (lifetime). */
+    std::vector<std::pair<std::string, std::uint64_t>> perClient;
+};
+
+/** The policy layer between the daemon and its ThreadPool. */
+class PriorityScheduler : public TaskExecutor
+{
+  public:
+    /** @param pool executes picked tasks; externally owned */
+    explicit PriorityScheduler(ThreadPool &pool);
+
+    /** Drains remaining work (running + queued) before destruction. */
+    ~PriorityScheduler() override;
+
+    PriorityScheduler(const PriorityScheduler &) = delete;
+    PriorityScheduler &operator=(const PriorityScheduler &) = delete;
+
+    /** Enqueue @p task under the policy above. */
+    void enqueue(SchedTask task);
+
+    /** TaskExecutor: anonymous client, default priority, no tag. */
+    void submit(std::function<void()> task) override;
+
+    /** TaskExecutor: parallelism equals the pool's worker count. */
+    unsigned width() const override { return pool.size(); }
+
+    /**
+     * Remove every still-queued task with @p tag, firing onCancel
+     * for each. Tasks already on a worker are unaffected.
+     * @return number of tasks cancelled
+     */
+    std::size_t cancelTag(std::uint64_t tag);
+
+    /** Block until the queue is empty and no task is in flight. */
+    void drain();
+
+    /** Counter snapshot. */
+    SchedStats stats() const;
+
+  private:
+    struct Entry
+    {
+        SchedTask task;
+        std::uint64_t seq = 0;
+    };
+
+    struct ClientShare
+    {
+        std::size_t queued = 0;   //!< entries waiting in `pending`
+        std::size_t running = 0;  //!< entries on a worker
+        std::size_t started = 0;  //!< starts since last queue drain
+        std::uint64_t completed = 0;
+    };
+
+    /** Launch queued tasks while capacity remains (mu held). */
+    void pump(std::unique_lock<std::mutex> &lock);
+
+    /** Index of the best pending entry, or npos (mu held). */
+    std::size_t pickLocked() const;
+
+    ThreadPool &pool;
+    mutable std::mutex mu;
+    std::condition_variable idle; //!< drain() waits here
+    std::vector<Entry> pending;
+    std::map<std::string, ClientShare> clients;
+    std::size_t running = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t completedCount = 0;
+    std::uint64_t cancelledCount = 0;
+};
+
+} // namespace asap
+
+#endif // ASAP_SVC_SCHEDULER_HH

@@ -1,0 +1,287 @@
+#include "svc/wire.hh"
+
+#include "media/media.hh"
+#include "workloads/registry.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+/** Upper bound on accepted core counts: far beyond any real sweep,
+ *  small enough that a corrupt count cannot allocate the machine. */
+constexpr unsigned kMaxWireCores = 512;
+
+bool
+reject(std::string *why, const std::string &reason)
+{
+    if (why)
+        *why = reason;
+    return false;
+}
+
+} // namespace
+
+bool
+tryParseModelKind(const std::string &name, ModelKind &out)
+{
+    if (name == "baseline")
+        out = ModelKind::Baseline;
+    else if (name == "hops")
+        out = ModelKind::Hops;
+    else if (name == "asap")
+        out = ModelKind::Asap;
+    else if (name == "eadr")
+        out = ModelKind::Eadr;
+    else
+        return false;
+    return true;
+}
+
+bool
+tryParsePersistencyModel(const std::string &name, PersistencyModel &out)
+{
+    if (name == "ep")
+        out = PersistencyModel::Epoch;
+    else if (name == "rp")
+        out = PersistencyModel::Release;
+    else
+        return false;
+    return true;
+}
+
+bool
+tryParseJobKind(const std::string &name, JobKind &out)
+{
+    if (name == "run")
+        out = JobKind::Run;
+    else if (name == "crash")
+        out = JobKind::Crash;
+    else
+        return false;
+    return true;
+}
+
+Json
+jobToJson(const ExperimentJob &job)
+{
+    const SimConfig &c = job.cfg;
+    const WorkloadParams &p = job.params;
+
+    Json v = Json::object();
+    v.set("workload", Json::str(job.workload));
+    v.set("kind", Json::str(toString(job.kind)));
+    v.set("crashTick", Json::number(job.crashTick));
+
+    Json cfg = Json::object();
+    cfg.set("numCores", Json::number(std::uint64_t(c.numCores)));
+    cfg.set("numMCs", Json::number(std::uint64_t(c.numMCs)));
+    cfg.set("model", Json::str(toString(c.model)));
+    cfg.set("persistency", Json::str(toString(c.persistency)));
+    cfg.set("l1Latency", Json::number(c.l1Latency));
+    cfg.set("l2Latency", Json::number(c.l2Latency));
+    cfg.set("llcLatency", Json::number(c.llcLatency));
+    cfg.set("cacheToCacheLatency",
+            Json::number(c.cacheToCacheLatency));
+    cfg.set("l1Sets", Json::number(std::uint64_t(c.l1Sets)));
+    cfg.set("l1Ways", Json::number(std::uint64_t(c.l1Ways)));
+    cfg.set("l2Sets", Json::number(std::uint64_t(c.l2Sets)));
+    cfg.set("l2Ways", Json::number(std::uint64_t(c.l2Ways)));
+    cfg.set("llcSets", Json::number(std::uint64_t(c.llcSets)));
+    cfg.set("llcWays", Json::number(std::uint64_t(c.llcWays)));
+    cfg.set("mediaProfile", Json::str(c.mediaProfile));
+    cfg.set("mediaReadLatency", Json::number(c.mediaReadLatency));
+    cfg.set("mediaWriteLatency", Json::number(c.mediaWriteLatency));
+    cfg.set("mediaBanks", Json::number(std::uint64_t(c.mediaBanks)));
+    cfg.set("mediaWriteGBps", Json::number(c.mediaWriteGBps));
+    cfg.set("dramLatency", Json::number(c.dramLatency));
+    cfg.set("pmReadLatency", Json::number(c.pmReadLatency));
+    cfg.set("pmWriteLatency", Json::number(c.pmWriteLatency));
+    cfg.set("wpqEntries", Json::number(std::uint64_t(c.wpqEntries)));
+    cfg.set("wpqCombineWindow", Json::number(c.wpqCombineWindow));
+    cfg.set("nvmBanks", Json::number(std::uint64_t(c.nvmBanks)));
+    cfg.set("interleaveBytes",
+            Json::number(std::uint64_t(c.interleaveBytes)));
+    cfg.set("xpBufferLines",
+            Json::number(std::uint64_t(c.xpBufferLines)));
+    cfg.set("xpBufferHitLatency",
+            Json::number(c.xpBufferHitLatency));
+    cfg.set("pbEntries", Json::number(std::uint64_t(c.pbEntries)));
+    cfg.set("etEntries", Json::number(std::uint64_t(c.etEntries)));
+    cfg.set("rtEntries", Json::number(std::uint64_t(c.rtEntries)));
+    cfg.set("pbFlushLatency", Json::number(c.pbFlushLatency));
+    cfg.set("pbMaxInflight",
+            Json::number(std::uint64_t(c.pbMaxInflight)));
+    cfg.set("clwbMaxInflight",
+            Json::number(std::uint64_t(c.clwbMaxInflight)));
+    cfg.set("mcMessageLatency", Json::number(c.mcMessageLatency));
+    cfg.set("interCoreLatency", Json::number(c.interCoreLatency));
+    cfg.set("hopsPollPeriod", Json::number(c.hopsPollPeriod));
+    cfg.set("hopsPollCost", Json::number(c.hopsPollCost));
+    cfg.set("eadrDfenceCost", Json::number(c.eadrDfenceCost));
+    cfg.set("coreIssueWidth",
+            Json::number(std::uint64_t(c.coreIssueWidth)));
+    cfg.set("seed", Json::number(c.seed));
+    cfg.set("maxRunTicks", Json::number(c.maxRunTicks));
+    v.set("cfg", std::move(cfg));
+
+    Json params = Json::object();
+    params.set("opsPerThread",
+               Json::number(std::uint64_t(p.opsPerThread)));
+    params.set("keySpace", Json::number(std::uint64_t(p.keySpace)));
+    params.set("valueBytes",
+               Json::number(std::uint64_t(p.valueBytes)));
+    params.set("updatePct", Json::number(std::uint64_t(p.updatePct)));
+    params.set("seed", Json::number(p.seed));
+    v.set("params", std::move(params));
+
+    return v;
+}
+
+namespace
+{
+
+void
+readU32(const Json &obj, const char *key, unsigned &field)
+{
+    if (obj.has(key))
+        field = static_cast<unsigned>(obj.get(key).asU64(field));
+}
+
+void
+readU64(const Json &obj, const char *key, std::uint64_t &field)
+{
+    if (obj.has(key))
+        field = obj.get(key).asU64(field);
+}
+
+void
+readF64(const Json &obj, const char *key, double &field)
+{
+    if (obj.has(key))
+        field = obj.get(key).asDouble(field);
+}
+
+} // namespace
+
+bool
+jobFromJson(const Json &v, ExperimentJob &out, std::string *why)
+{
+    if (!v.isObject())
+        return reject(why, "job is not a JSON object");
+
+    ExperimentJob job;
+
+    job.workload = v.get("workload").asString();
+    if (job.workload.empty())
+        return reject(why, "job has no workload");
+    bool known = false;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (w.name == job.workload) {
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        return reject(why, "unknown workload '" + job.workload + "'");
+
+    if (v.has("kind") &&
+        !tryParseJobKind(v.get("kind").asString(), job.kind)) {
+        return reject(why,
+                      "bad job kind '" + v.get("kind").asString() +
+                          "'");
+    }
+    job.crashTick = v.get("crashTick").asU64(0);
+    if (job.kind == JobKind::Crash && job.crashTick == 0)
+        return reject(why, "crash job without a crash tick");
+
+    const Json &cfg = v.get("cfg");
+    if (!cfg.isNull()) {
+        if (!cfg.isObject())
+            return reject(why, "cfg is not a JSON object");
+        SimConfig &c = job.cfg;
+        readU32(cfg, "numCores", c.numCores);
+        readU32(cfg, "numMCs", c.numMCs);
+        if (cfg.has("model") &&
+            !tryParseModelKind(cfg.get("model").asString(), c.model)) {
+            return reject(why, "bad model '" +
+                                   cfg.get("model").asString() + "'");
+        }
+        if (cfg.has("persistency") &&
+            !tryParsePersistencyModel(
+                cfg.get("persistency").asString(), c.persistency)) {
+            return reject(
+                why, "bad persistency model '" +
+                         cfg.get("persistency").asString() + "'");
+        }
+        readU64(cfg, "l1Latency", c.l1Latency);
+        readU64(cfg, "l2Latency", c.l2Latency);
+        readU64(cfg, "llcLatency", c.llcLatency);
+        readU64(cfg, "cacheToCacheLatency", c.cacheToCacheLatency);
+        readU32(cfg, "l1Sets", c.l1Sets);
+        readU32(cfg, "l1Ways", c.l1Ways);
+        readU32(cfg, "l2Sets", c.l2Sets);
+        readU32(cfg, "l2Ways", c.l2Ways);
+        readU32(cfg, "llcSets", c.llcSets);
+        readU32(cfg, "llcWays", c.llcWays);
+        if (cfg.has("mediaProfile"))
+            c.mediaProfile = cfg.get("mediaProfile").asString();
+        if (!isMediaProfile(c.mediaProfile)) {
+            return reject(why, "unknown media profile '" +
+                                   c.mediaProfile + "'");
+        }
+        readU64(cfg, "mediaReadLatency", c.mediaReadLatency);
+        readU64(cfg, "mediaWriteLatency", c.mediaWriteLatency);
+        readU32(cfg, "mediaBanks", c.mediaBanks);
+        readF64(cfg, "mediaWriteGBps", c.mediaWriteGBps);
+        readU64(cfg, "dramLatency", c.dramLatency);
+        readU64(cfg, "pmReadLatency", c.pmReadLatency);
+        readU64(cfg, "pmWriteLatency", c.pmWriteLatency);
+        readU32(cfg, "wpqEntries", c.wpqEntries);
+        readU64(cfg, "wpqCombineWindow", c.wpqCombineWindow);
+        readU32(cfg, "nvmBanks", c.nvmBanks);
+        readU32(cfg, "interleaveBytes", c.interleaveBytes);
+        readU32(cfg, "xpBufferLines", c.xpBufferLines);
+        readU64(cfg, "xpBufferHitLatency", c.xpBufferHitLatency);
+        readU32(cfg, "pbEntries", c.pbEntries);
+        readU32(cfg, "etEntries", c.etEntries);
+        readU32(cfg, "rtEntries", c.rtEntries);
+        readU64(cfg, "pbFlushLatency", c.pbFlushLatency);
+        readU32(cfg, "pbMaxInflight", c.pbMaxInflight);
+        readU32(cfg, "clwbMaxInflight", c.clwbMaxInflight);
+        readU64(cfg, "mcMessageLatency", c.mcMessageLatency);
+        readU64(cfg, "interCoreLatency", c.interCoreLatency);
+        readU64(cfg, "hopsPollPeriod", c.hopsPollPeriod);
+        readU64(cfg, "hopsPollCost", c.hopsPollCost);
+        readU64(cfg, "eadrDfenceCost", c.eadrDfenceCost);
+        readU32(cfg, "coreIssueWidth", c.coreIssueWidth);
+        readU64(cfg, "seed", c.seed);
+        readU64(cfg, "maxRunTicks", c.maxRunTicks);
+    }
+    if (job.cfg.numCores == 0 || job.cfg.numCores > kMaxWireCores) {
+        return reject(why, "core count out of range [1, " +
+                               std::to_string(kMaxWireCores) + "]");
+    }
+    if (job.cfg.numMCs == 0)
+        return reject(why, "memory controller count must be >= 1");
+
+    const Json &params = v.get("params");
+    if (!params.isNull()) {
+        if (!params.isObject())
+            return reject(why, "params is not a JSON object");
+        WorkloadParams &p = job.params;
+        readU32(params, "opsPerThread", p.opsPerThread);
+        readU32(params, "keySpace", p.keySpace);
+        readU32(params, "valueBytes", p.valueBytes);
+        readU32(params, "updatePct", p.updatePct);
+        readU64(params, "seed", p.seed);
+        if (p.keySpace == 0)
+            return reject(why, "keySpace must be >= 1");
+    }
+
+    out = std::move(job);
+    return true;
+}
+
+} // namespace asap

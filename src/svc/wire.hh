@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Job (de)serialization for the asapd protocol.
+ *
+ * The codec is full-fidelity: every SimConfig and WorkloadParams
+ * field crosses the wire, so the daemon reconstructs a job whose
+ * jobKey() is bit-identical to the one the client computed — the
+ * property that lets both sides share one cache namespace and lets
+ * daemon-served sweeps emit byte-identical artifacts.
+ *
+ * It deliberately does NOT reuse SimConfig::override(): that parser
+ * is fatal on unknown keys and covers only the CLI-exposed subset.
+ * Wire decoding is non-fatal (a malformed request is the *client's*
+ * error and must never kill the daemon) and validates semantic
+ * fields — workload and media-profile registry membership, enum
+ * names, sane core counts — before a job is accepted.
+ */
+
+#ifndef ASAP_SVC_WIRE_HH
+#define ASAP_SVC_WIRE_HH
+
+#include <string>
+
+#include "exp/sweep.hh"
+#include "svc/json.hh"
+
+namespace asap
+{
+
+/** Non-fatal counterparts of the fatal CLI parsers. */
+bool tryParseModelKind(const std::string &name, ModelKind &out);
+bool tryParsePersistencyModel(const std::string &name,
+                              PersistencyModel &out);
+bool tryParseJobKind(const std::string &name, JobKind &out);
+
+/** Render @p job as a JSON object (every field, insertion-ordered). */
+Json jobToJson(const ExperimentJob &job);
+
+/**
+ * Rebuild a job from jobToJson() output. Missing fields keep their
+ * SimConfig/WorkloadParams defaults (the encoder always writes all of
+ * them; tolerance buys forward compatibility), unknown fields are
+ * ignored, and semantic errors — unknown workload, unknown media
+ * profile, bad enum name, absurd core count — are rejected.
+ * @param why when non-null, receives the rejection reason
+ * @return true and fills @p out on success
+ */
+bool jobFromJson(const Json &v, ExperimentJob &out,
+                 std::string *why = nullptr);
+
+} // namespace asap
+
+#endif // ASAP_SVC_WIRE_HH
