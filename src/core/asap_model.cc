@@ -169,8 +169,9 @@ AsapModel::onCommittable(std::uint64_t ts)
         if (!(mask & (1u << mc)))
             continue;
         ++*stCommitMessages;
-        ctx.eq.scheduleAfter(ctx.cfg.mcMessageLatency,
-                             [this, mc, ts, remaining]() {
+        ctx.eq.scheduleAfterIn(EventQueue::mcDomain(mc),
+                               ctx.cfg.mcMessageLatency,
+                               [this, mc, ts, remaining]() {
             if (crashed)
                 return;
             ctx.mcs[mc]->receiveCommit(thread, ts,

@@ -1,5 +1,6 @@
 #include "core/recovery_table.hh"
 
+#include "sim/event_queue.hh"
 #include "sim/log.hh"
 
 namespace asap
@@ -9,16 +10,32 @@ RecoveryTable::RecoveryTable(unsigned mc_id, unsigned capacity,
                              StatSet &stats)
     : mcId(mc_id), capacity(capacity), stats(stats),
       statPrefix("rt" + std::to_string(mc_id) + "."),
-      stMaxOcc(&stats.counter(statPrefix + "maxOccupancy")),
-      stMaxOccAgg(&stats.counter("rt.maxOccupancy")),
-      stDelayCoalesced(&stats.counter("rt.delayCoalesced")),
-      stSameEpochWriteThrough(&stats.counter("rt.sameEpochWriteThrough")),
-      stNacks(&stats.counter("rt.nacks")),
-      stTotalDelay(&stats.counter("rt.totalDelay")),
-      stTotalUndo(&stats.counter("rt.totalUndo")),
-      stDelayAbsorbed(&stats.counter("rt.delayAbsorbed"))
+      stMaxOcc{&stats.counter(statPrefix + "maxOccupancy"),
+               &stats.counter("rt.maxOccupancy")},
+      stDelayCoalesced{&stats.counter(statPrefix + "delayCoalesced"),
+                       &stats.counter("rt.delayCoalesced")},
+      stSameEpochWriteThrough{
+          &stats.counter(statPrefix + "sameEpochWriteThrough"),
+          &stats.counter("rt.sameEpochWriteThrough")},
+      stNacks{&stats.counter(statPrefix + "nacks"),
+              &stats.counter("rt.nacks")},
+      stTotalDelay{&stats.counter(statPrefix + "totalDelay"),
+                   &stats.counter("rt.totalDelay")},
+      stTotalUndo{&stats.counter(statPrefix + "totalUndo"),
+                  &stats.counter("rt.totalUndo")},
+      stDelayAbsorbed{&stats.counter(statPrefix + "delayAbsorbed"),
+                      &stats.counter("rt.delayAbsorbed")}
 {
     fatal_if(capacity == 0, "recovery table needs at least one entry");
+    sumPairs_ = {&stDelayCoalesced, &stSameEpochWriteThrough, &stNacks,
+                 &stTotalDelay,     &stTotalUndo,             &stDelayAbsorbed};
+}
+
+void
+RecoveryTable::attachKernel(EventQueue *eq, bool agg_inline)
+{
+    eq_ = eq;
+    aggInline_ = agg_inline;
 }
 
 std::size_t
@@ -31,10 +48,19 @@ void
 RecoveryTable::statMax()
 {
     const std::uint64_t occ = occupancy();
-    if (occ > *stMaxOcc)
-        *stMaxOcc = occ;
-    if (occ > *stMaxOccAgg)
-        *stMaxOccAgg = occ;
+    if (occ > *stMaxOcc.rt)
+        *stMaxOcc.rt = occ;
+    if (aggInline_ && occ > *stMaxOcc.agg)
+        *stMaxOcc.agg = occ;
+}
+
+void
+RecoveryTable::noteNackMutation()
+{
+    nackCount_.store(static_cast<std::uint32_t>(nackedLines.size()),
+                     std::memory_order_relaxed);
+    if (eq_)
+        eq_->noteCrossWrite();
 }
 
 bool
@@ -69,12 +95,13 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
         if (d.line == pkt.line && d.thread == pkt.thread &&
             d.epoch == pkt.epoch) {
             d.value = pkt.value;
-            ++*stDelayCoalesced;
+            inc(stDelayCoalesced);
             if (!pkt.early) {
                 auto nit = nackedLines.find(pkt.line);
                 if (nit != nackedLines.end()) {
                     nackedLines.erase(nit);
                     nackBloom.remove(pkt.line);
+                    noteNackMutation();
                 }
             }
             return FlushAction::CreateDelay;
@@ -88,6 +115,7 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
         if (nit != nackedLines.end()) {
             nackedLines.erase(nit);
             nackBloom.remove(pkt.line);
+            noteNackMutation();
         }
         if (uit != undos.end()) {
             if (uit->second.thread == pkt.thread &&
@@ -98,7 +126,7 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
                 // became safe), so the incoming value is newer and
                 // must reach memory. The undo record keeps the
                 // pre-epoch value for rewind.
-                ++*stSameEpochWriteThrough;
+                inc(stSameEpochWriteThrough);
                 return FlushAction::WriteMemory;
             }
             // Memory already holds a speculative later value from a
@@ -117,12 +145,13 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
         if (occupancy() >= capacity) {
             nackedLines.insert(pkt.line);
             nackBloom.insert(pkt.line);
-            ++*stNacks;
+            noteNackMutation();
+            inc(stNacks);
             return FlushAction::Nack;
         }
         delays.push_back(
             DelayRecord{pkt.line, pkt.value, pkt.thread, pkt.epoch});
-        ++*stTotalDelay;
+        inc(stTotalDelay);
         statMax();
         return FlushAction::CreateDelay;
     }
@@ -132,12 +161,13 @@ RecoveryTable::onFlush(const FlushPacket &pkt, std::uint64_t current_value)
     if (occupancy() >= capacity) {
         nackedLines.insert(pkt.line);
         nackBloom.insert(pkt.line);
-        ++*stNacks;
+        noteNackMutation();
+        inc(stNacks);
         return FlushAction::Nack;
     }
     undos.emplace(pkt.line,
                   UndoRecord{current_value, pkt.thread, pkt.epoch});
-    ++*stTotalUndo;
+    inc(stTotalUndo);
     statMax();
     return FlushAction::CreateUndoAndWrite;
 }
@@ -165,7 +195,7 @@ RecoveryTable::onCommit(std::uint16_t thread, std::uint64_t epoch,
             auto uit = undos.find(it->line);
             if (uit != undos.end()) {
                 uit->second.value = it->value;
-                ++*stDelayAbsorbed;
+                inc(stDelayAbsorbed);
             } else {
                 write_out(it->line, it->value);
             }
@@ -185,6 +215,48 @@ RecoveryTable::onCrash(const WriteOutFn &write_out)
         write_out(line, rec.value);
     undos.clear();
     delays.clear();
+}
+
+void
+RecoveryTable::specSave()
+{
+    snap_ = std::make_unique<SpecSnapshot>(SpecSnapshot{
+        undos, delays, nackBloom, nackedLines, {}, *stMaxOcc.rt});
+    snap_->statVals.reserve(sumPairs_.size());
+    for (Pair *p : sumPairs_)
+        snap_->statVals.push_back(*p->rt);
+}
+
+void
+RecoveryTable::specRestore()
+{
+    panic_if(!snap_, "RT specRestore without a checkpoint");
+    undos = std::move(snap_->undos);
+    delays = std::move(snap_->delays);
+    nackBloom = std::move(snap_->nackBloom);
+    nackedLines = std::move(snap_->nackedLines);
+    for (std::size_t i = 0; i < sumPairs_.size(); ++i)
+        *sumPairs_[i]->rt = snap_->statVals[i];
+    *stMaxOcc.rt = snap_->maxOcc;
+    noteNackMutation();
+    snap_.reset();
+}
+
+void
+RecoveryTable::zeroAggStats()
+{
+    for (Pair *p : sumPairs_)
+        *p->agg = 0;
+    *stMaxOcc.agg = 0;
+}
+
+void
+RecoveryTable::addAggStats()
+{
+    for (Pair *p : sumPairs_)
+        *p->agg += *p->rt;
+    if (*stMaxOcc.rt > *stMaxOcc.agg)
+        *stMaxOcc.agg = *stMaxOcc.rt;
 }
 
 } // namespace asap

@@ -29,8 +29,16 @@ namespace
  *
  *  v3: results gained eventsExecuted (kernel events per run, a
  *  deterministic stat); entries written by v2 would deserialize with
- *  it silently zero. */
-constexpr const char *kCodeSalt = "asap-sim-v3";
+ *  it silently zero.
+ *
+ *  v4: the event kernel's same-tick tie-break changed from global
+ *  scheduling order to (creator-domain send counter, domain id) so
+ *  the domain-parallel engine can reproduce it exactly; same-tick
+ *  cross-domain orderings (and therefore some stats) shift. Note
+ *  --par-domains itself is deliberately NOT part of the job key: the
+ *  parallel engine is bit-identical to the sequential one, so both
+ *  may share cache entries. */
+constexpr const char *kCodeSalt = "asap-sim-v4";
 
 /** Age beyond which an abandoned temp file is certainly garbage (no
  *  writer holds an insert open for minutes). */
@@ -52,9 +60,12 @@ describeJob(const ExperimentJob &job)
     std::ostringstream os;
     os << "salt=" << kCodeSalt << '\n'
        << "workload=" << job.workload << '\n'
-       // Every SimConfig knob, in declaration order. A knob missing
-       // here would alias configs that differ only in that knob —
-       // keep in sync with sim/config.hh.
+       // Every result-affecting SimConfig knob, in declaration
+       // order. A knob missing here would alias configs that differ
+       // only in that knob — keep in sync with sim/config.hh. The
+       // parallel-kernel knobs (parDomains, parSpecWindow) are
+       // excluded on purpose: both engines produce bit-identical
+       // results, so keying them would only split the cache.
        << "numCores=" << c.numCores << '\n'
        << "numMCs=" << c.numMCs << '\n'
        << "model=" << toString(c.model) << '\n'

@@ -67,6 +67,15 @@ class RecoveryPolicy
 
     /** Records currently held (undo + delay), for occupancy stats. */
     virtual std::size_t occupancy() const = 0;
+
+    /**
+     * Speculation checkpoints (parallel kernel). A controller about
+     * to execute a speculative event window asks its policy to save
+     * restorable state; on misspeculation the kernel restores it.
+     * Stateless policies need not override.
+     */
+    virtual void specSave() {}
+    virtual void specRestore() {}
 };
 
 } // namespace asap

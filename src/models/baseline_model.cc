@@ -43,8 +43,9 @@ BaselineModel::issueNextClwb(const std::shared_ptr<FenceState> &st)
     FlushPacket pkt{line, value, thread, st->ts, /*early=*/false};
     const unsigned mc = ctx.amap.mcFor(line);
     ++*stClwbs;
-    ctx.eq.scheduleAfter(ctx.cfg.pbFlushLatency, [this, pkt, mc,
-                                                  st]() {
+    ctx.eq.scheduleAfterIn(EventQueue::mcDomain(mc),
+                           ctx.cfg.pbFlushLatency, [this, pkt, mc,
+                                                    st]() {
         if (crashed)
             return;
         ctx.mcs[mc]->receiveFlush(pkt, [this, st](FlushReply) {

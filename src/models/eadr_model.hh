@@ -105,8 +105,9 @@ class EadrModel : public PersistModel
             ++drainInflight;
             FlushPacket pkt{line, value, thread, 1, /*early=*/false};
             const unsigned mc = ctx.amap.mcFor(line);
-            ctx.eq.scheduleAfter(ctx.cfg.pbFlushLatency,
-                                 [this, pkt, mc]() {
+            ctx.eq.scheduleAfterIn(EventQueue::mcDomain(mc),
+                                   ctx.cfg.pbFlushLatency,
+                                   [this, pkt, mc]() {
                 ctx.mcs[mc]->receiveFlush(pkt, [this](FlushReply) {
                     --drainInflight;
                     tryDrain();

@@ -155,8 +155,11 @@ PersistBuffer::dispatch(std::size_t idx)
     }
 
     // Forward link latency, then controller processing, then the
-    // reply (the controller schedules the reply-side latency).
-    eq.scheduleAfter(cfg.pbFlushLatency, [this, pkt, mc, entry]() {
+    // reply (the controller schedules the reply-side latency). The
+    // arrival executes in the target controller's event domain; the
+    // reply callback comes back via a core-domain ACK event.
+    eq.scheduleAfterIn(EventQueue::mcDomain(mc), cfg.pbFlushLatency,
+                       [this, pkt, mc, entry]() {
         if (crashed)
             return;
         mcs[mc]->receiveFlush(pkt, [this, pkt, mc, entry]

@@ -170,7 +170,10 @@ TEST_F(MediaTest, PaperProfileByteIdenticalToSeedFigureRows)
         "sfenceStalled,entriesInserted,epochs,crossDeps,totSpecWrites,"
         "totalUndo,totalDelay,nacks,rtMaxOccupancy,pbOccMean,pbOccP99,"
         "wpqCoalesced,suppressedWrites\n"
-        // seed fig08.csv rows (baseline/HOPS), seed fig02.csv (ASAP)
+        // seed fig08.csv rows (baseline/HOPS), seed fig02.csv (ASAP).
+        // The kernel-v4 same-tick tie-break (creator-domain send
+        // counters, kCodeSalt asap-sim-v4) nudged pbOccMean on the two
+        // cceh rows below; every integer stat matches the seed rows.
         "echo,baseline,rp,4,1,30,26149,298,0,0,0,0,30720,0,0,0,0,0,0,"
         "0,0,0,0,0,0\n"
         "echo,hops,rp,4,1,30,18465,298,0,16108,0,1008,0,409,412,48,0,"
@@ -180,9 +183,9 @@ TEST_F(MediaTest, PaperProfileByteIdenticalToSeedFigureRows)
         "cceh,baseline,rp,4,1,30,90986,110,0,0,0,0,14080,0,0,0,0,0,0,"
         "0,0,0,0,0,0\n"
         "cceh,hops,rp,4,1,30,89176,109,0,24676,0,6138,0,148,319,95,0,"
-        "0,0,0,0,0.106249,2,39,0\n"
+        "0,0,0,0,0.105887,2,39,0\n"
         "cceh,asap,rp,4,1,30,87376,110,32,0,0,1108,0,220,319,95,52,"
-        "47,5,0,3,0.042243,1,110,0\n";
+        "47,5,0,3,0.041141,1,110,0\n";
     EXPECT_EQ(csv.str(), expected);
 }
 

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Domain-parallel event kernel: determinism and rollback.
+ *
+ * The kernel's contract (src/sim/README.md) is that the parallel
+ * engine reproduces the sequential engine bit for bit. These tests
+ * hold it to that at both layers: raw EventQueue graphs (per-domain
+ * execution order, same-tick tie-breaks, forced misspeculation with
+ * checkpoint/rollback) and full-system runs (every deterministic
+ * RunResult stat and crash-injection verdicts, conservative and
+ * speculative).
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+
+using namespace asap;
+
+namespace
+{
+
+/** Per-domain execution record shared by an event graph's callbacks:
+ *  (tick, tag) in execution order. Cross-engine equality of these —
+ *  per domain — is the determinism claim; a single global vector
+ *  would also impose an order on logically concurrent events in
+ *  different domains, which the kernel deliberately does not. */
+struct Recorder
+{
+    EventQueue *eq = nullptr;
+    std::vector<std::vector<std::pair<Tick, int>>> order;
+};
+
+void coreHop(Recorder &r, unsigned mc, int depth, int tag);
+
+void
+mcHop(Recorder &r, unsigned mc, int depth, int tag)
+{
+    r.order[1 + mc].emplace_back(r.eq->now(), tag);
+    if (depth > 0)
+        r.eq->scheduleAfterIn(EventQueue::kCoreDomain, 5,
+                              [&r, mc, depth, tag] {
+                                  coreHop(r, mc, depth, tag);
+                              });
+}
+
+void
+coreHop(Recorder &r, unsigned mc, int depth, int tag)
+{
+    r.order[0].emplace_back(r.eq->now(), tag);
+    r.eq->scheduleAfterIn(EventQueue::mcDomain(mc), 5,
+                          [&r, mc, depth, tag] {
+                              mcHop(r, mc, depth - 1, tag);
+                          });
+}
+
+/** Seed the same core<->MC ping-pong graph into @p r's queue: two
+ *  MCs, several chains, including same-tick ties (two chains start
+ *  at tick 3) so the sequence-key tie-break is exercised. */
+void
+seedPingPong(Recorder &r)
+{
+    r.order.assign(3, {});
+    int tag = 0;
+    for (unsigned mc = 0; mc < 2; ++mc)
+        for (Tick t : {Tick{0}, Tick{3}, Tick{3}, Tick{6}}) {
+            const int id = tag++;
+            r.eq->scheduleIn(EventQueue::kCoreDomain, t,
+                             [&r, mc, id] { coreHop(r, mc, 3, id); });
+        }
+}
+
+TEST(ParKernel, MatchesSequentialOrderPerDomain)
+{
+    Recorder seq;
+    EventQueue seqQ;
+    seq.eq = &seqQ;
+    seedPingPong(seq);
+    EXPECT_TRUE(seqQ.run());
+
+    Recorder par;
+    EventQueue parQ;
+    parQ.configureParallel(2, 2, 5, 5, 0);
+    par.eq = &parQ;
+    seedPingPong(par);
+    EXPECT_TRUE(parQ.run());
+
+    EXPECT_EQ(seqQ.executed(), parQ.executed());
+    for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(seq.order[d], par.order[d]) << "domain " << d;
+    EXPECT_EQ(parQ.misspeculations(), 0u);
+    EXPECT_EQ(parQ.rollbacks(), 0u);
+}
+
+TEST(ParKernel, RunLimitStopsBothEnginesAlike)
+{
+    Recorder seq;
+    EventQueue seqQ;
+    seq.eq = &seqQ;
+    seedPingPong(seq);
+    EXPECT_FALSE(seqQ.run(12));
+
+    Recorder par;
+    EventQueue parQ;
+    parQ.configureParallel(2, 2, 5, 5, 0);
+    par.eq = &parQ;
+    seedPingPong(par);
+    EXPECT_FALSE(parQ.run(12));
+
+    EXPECT_EQ(seqQ.executed(), parQ.executed());
+    for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(seq.order[d], par.order[d]) << "domain " << d;
+
+    // Resuming to the drain must also agree.
+    EXPECT_TRUE(seqQ.run());
+    EXPECT_TRUE(parQ.run());
+    EXPECT_EQ(seqQ.executed(), parQ.executed());
+    for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(seq.order[d], par.order[d]) << "domain " << d;
+}
+
+TEST(ParKernel, ForcedMisspeculationRollsBackAndReplays)
+{
+    // One MC, one host thread (the full parallel protocol on the
+    // calling thread), latencies 10/10, a 100-tick spec window.
+    EventQueue eq;
+    eq.configureParallel(1, 1, 10, 10, 100);
+
+    // The "component state" the checkpoint hooks guard: the MC-side
+    // execution record. Save snapshots its length, restore truncates
+    // back — exactly the discipline the memory controller implements.
+    std::vector<Tick> mcTicks;
+    std::vector<Tick> coreTicks;
+    std::size_t savedLen = 0;
+    int saves = 0, restores = 0, discards = 0;
+    eq.setCheckpointHooks(
+        EventQueue::mcDomain(0),
+        [&] { ++saves; savedLen = mcTicks.size(); },
+        [&] { ++restores; mcTicks.resize(savedLen); },
+        [&] { ++discards; });
+
+    // Core event at 0 sends into the MC at 10; the MC's own heap
+    // holds 12/15/25. Round 1 bounds: earliestCore = 0, so the MC may
+    // only run below 10 conservatively — its front (12) is starved,
+    // so it speculates to 110 and executes 12, 15, 25. At the
+    // barrier the buffered send at 10 lands at or below 25: the
+    // window is invalid and must roll back, then replay after the
+    // arrival is routed.
+    eq.scheduleIn(EventQueue::kCoreDomain, 0, [&] {
+        coreTicks.push_back(eq.now());
+        eq.scheduleAfterIn(EventQueue::mcDomain(0), 10,
+                           [&] { mcTicks.push_back(eq.now()); });
+    });
+    for (Tick t : {Tick{12}, Tick{15}, Tick{25}})
+        eq.scheduleIn(EventQueue::mcDomain(0), t,
+                      [&] { mcTicks.push_back(eq.now()); });
+
+    EXPECT_TRUE(eq.run());
+
+    EXPECT_EQ(eq.misspeculations(), 1u);
+    EXPECT_EQ(eq.rollbacks(), 1u);
+    EXPECT_GE(eq.parallelRounds(), 1u);
+    EXPECT_EQ(saves, 1);
+    EXPECT_EQ(restores, 1);
+    EXPECT_EQ(discards, 0);
+
+    // The rolled-back window left no trace: the final record is the
+    // sequential order, each event executed exactly once.
+    EXPECT_EQ(coreTicks, (std::vector<Tick>{0}));
+    EXPECT_EQ(mcTicks, (std::vector<Tick>{10, 12, 15, 25}));
+    EXPECT_EQ(eq.executed(), 5u);
+    EXPECT_FALSE(eq.tainted());
+}
+
+TEST(ParKernel, ValidSpeculationCommitsWithoutRollback)
+{
+    // Same shape, but the core's send lands at 40 — past everything
+    // the MC speculated — so the window validates and commits.
+    EventQueue eq;
+    eq.configureParallel(1, 1, 10, 10, 100);
+
+    std::vector<Tick> mcTicks;
+    std::size_t savedLen = 0;
+    int saves = 0, restores = 0, discards = 0;
+    eq.setCheckpointHooks(
+        EventQueue::mcDomain(0),
+        [&] { ++saves; savedLen = mcTicks.size(); },
+        [&] { ++restores; mcTicks.resize(savedLen); },
+        [&] { ++discards; });
+
+    eq.scheduleIn(EventQueue::kCoreDomain, 0, [&] {
+        eq.scheduleAfterIn(EventQueue::mcDomain(0), 40,
+                           [&] { mcTicks.push_back(eq.now()); });
+    });
+    for (Tick t : {Tick{12}, Tick{15}, Tick{25}})
+        eq.scheduleIn(EventQueue::mcDomain(0), t,
+                      [&] { mcTicks.push_back(eq.now()); });
+
+    EXPECT_TRUE(eq.run());
+
+    EXPECT_EQ(eq.misspeculations(), 0u);
+    EXPECT_EQ(eq.rollbacks(), 0u);
+    EXPECT_GE(eq.parallelRounds(), 1u);
+    EXPECT_EQ(saves, 1);
+    EXPECT_EQ(restores, 0);
+    EXPECT_EQ(discards, 1);
+    EXPECT_EQ(mcTicks, (std::vector<Tick>{12, 15, 25, 40}));
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+// --- full-system parity ---------------------------------------------
+
+/** Every deterministic RunResult field (host-side telemetry —
+ *  hostNs, parDomains, parRounds, spec counters — excluded by
+ *  design; see runner.hh). */
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.runTicks, b.runTicks);
+    EXPECT_EQ(a.pmWrites, b.pmWrites);
+    EXPECT_EQ(a.pmReads, b.pmReads);
+    EXPECT_EQ(a.cyclesBlocked, b.cyclesBlocked);
+    EXPECT_EQ(a.cyclesStalled, b.cyclesStalled);
+    EXPECT_EQ(a.dfenceStalled, b.dfenceStalled);
+    EXPECT_EQ(a.sfenceStalled, b.sfenceStalled);
+    EXPECT_EQ(a.entriesInserted, b.entriesInserted);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.crossDeps, b.crossDeps);
+    EXPECT_EQ(a.totSpecWrites, b.totSpecWrites);
+    EXPECT_EQ(a.totalUndo, b.totalUndo);
+    EXPECT_EQ(a.totalDelay, b.totalDelay);
+    EXPECT_EQ(a.nacks, b.nacks);
+    EXPECT_EQ(a.rtMaxOccupancy, b.rtMaxOccupancy);
+    EXPECT_DOUBLE_EQ(a.pbOccMean, b.pbOccMean);
+    EXPECT_EQ(a.pbOccP99, b.pbOccP99);
+    EXPECT_EQ(a.wpqCoalesced, b.wpqCoalesced);
+    EXPECT_EQ(a.suppressedWrites, b.suppressedWrites);
+    EXPECT_EQ(a.xpHits, b.xpHits);
+    EXPECT_EQ(a.xpMisses, b.xpMisses);
+    EXPECT_EQ(a.mediaBytesWritten, b.mediaBytesWritten);
+    EXPECT_EQ(a.mediaQueueDelayTicks, b.mediaQueueDelayTicks);
+    EXPECT_EQ(a.mediaBankBusyTicks, b.mediaBankBusyTicks);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.opsPerThread = 60;
+    return p;
+}
+
+TEST(ParKernelSystem, RunResultsMatchSequentialAllModels)
+{
+    const WorkloadParams p = smallParams();
+    for (ModelKind m : {ModelKind::Baseline, ModelKind::Hops,
+                        ModelKind::Asap, ModelKind::Eadr}) {
+        SimConfig seq;
+        seq.model = m;
+        const RunResult a = runExperiment("queue", seq, p);
+        EXPECT_EQ(a.parDomains, 1u);
+
+        SimConfig par = seq;
+        par.parDomains = 4;
+        const RunResult b = runExperiment("queue", par, p);
+        EXPECT_GT(b.parDomains, 1u) << toString(m);
+
+        SCOPED_TRACE(toString(m));
+        expectSameResult(a, b);
+    }
+}
+
+TEST(ParKernelSystem, SpeculativeRunMatchesSequential)
+{
+    const WorkloadParams p = smallParams();
+    SimConfig seq; // ASAP model — the RT/NACK-heavy path
+    const RunResult a = runExperiment("cceh", seq, p);
+
+    SimConfig par = seq;
+    par.parDomains = 4;
+    par.parSpecWindow = 64;
+    const RunResult b = runExperiment("cceh", par, p);
+    EXPECT_GT(b.parDomains, 1u);
+
+    expectSameResult(a, b);
+}
+
+TEST(ParKernelSystem, CrashVerdictsMatchSequential)
+{
+    const WorkloadParams p = smallParams();
+    SimConfig seq;
+    const RunResult full = runExperiment("cceh", seq, p);
+    const Tick crash = full.runTicks / 2;
+
+    const CrashRunResult a = runCrashExperiment("cceh", seq, p, crash);
+
+    SimConfig par = seq;
+    par.parDomains = 4;
+    par.parSpecWindow = 64;
+    const CrashRunResult b = runCrashExperiment("cceh", par, p, crash);
+
+    EXPECT_EQ(a.verdict.consistent, b.verdict.consistent);
+    EXPECT_EQ(a.verdict.message, b.verdict.message);
+    EXPECT_EQ(a.verdict.crashTick, b.verdict.crashTick);
+    EXPECT_EQ(a.verdict.actualTick, b.verdict.actualTick);
+    EXPECT_EQ(a.verdict.committedUpTo, b.verdict.committedUpTo);
+    EXPECT_EQ(a.verdict.storesLogged, b.verdict.storesLogged);
+    EXPECT_EQ(a.verdict.linesSurvived, b.verdict.linesSurvived);
+    EXPECT_EQ(a.verdict.undoReplayed, b.verdict.undoReplayed);
+    EXPECT_EQ(a.verdict.adrDrainWrites, b.verdict.adrDrainWrites);
+    expectSameResult(a.run, b.run);
+}
+
+} // namespace
