@@ -8,6 +8,7 @@
  *           [--priority P] [--out sweep.csv]
  *   asapctl --socket S status
  *   asapctl --socket S stats [--json]
+ *   asapctl --socket S top [--interval SEC] [--iterations N]
  *   asapctl --socket S cancel --sweep s3
  *   asapctl --socket S shutdown
  *
@@ -18,10 +19,12 @@
  * warm-vs-cold behaviour is visible at a glance.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/emit.hh"
@@ -49,6 +52,8 @@ usage(const char *argv0)
         "         [--priority P] [--client NAME] [--out PATH]\n"
         "  status                       active sweeps\n"
         "  stats [--json]               cache/scheduler/daemon stats\n"
+        "  top [--interval SEC]         live-refreshing status+stats\n"
+        "      [--iterations N]         view (N=0: until interrupted)\n"
         "  cancel --sweep sID           drop a sweep's queued jobs\n"
         "  shutdown                     graceful daemon shutdown\n",
         argv0);
@@ -128,6 +133,28 @@ printHumanStats(const Json &resp)
     return 0;
 }
 
+int
+printHumanStatus(const Json &resp)
+{
+    const Json &sweeps = resp.get("sweeps");
+    if (sweeps.size() == 0) {
+        std::printf("no active sweeps\n");
+        return 0;
+    }
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const Json &row = sweeps.at(i);
+        std::printf("%-6s client %-16s prio %-3lld %llu/%llu "
+                    "streamed (%llu cancelled)\n",
+                    row.get("sweep").asString().c_str(),
+                    row.get("client").asString().c_str(),
+                    (long long)row.get("priority").asI64(),
+                    (unsigned long long)row.get("streamed").asU64(),
+                    (unsigned long long)row.get("unique").asU64(),
+                    (unsigned long long)row.get("cancelled").asU64());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -144,6 +171,8 @@ main(int argc, char **argv)
     unsigned ops = 200;
     std::uint64_t seed = 1;
     bool jsonStats = false;
+    double interval = 2.0;   //!< top: seconds between refreshes
+    unsigned iterations = 0; //!< top: 0 = run until interrupted
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -173,6 +202,11 @@ main(int argc, char **argv)
             sweepId = argv[++i];
         else if (!std::strcmp(arg, "--json"))
             jsonStats = true;
+        else if (!std::strcmp(arg, "--interval") && i + 1 < argc)
+            interval = std::strtod(argv[++i], nullptr);
+        else if (!std::strcmp(arg, "--iterations") && i + 1 < argc)
+            iterations = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
         else if (arg[0] != '-' && command.empty())
             command = arg;
         else
@@ -204,29 +238,33 @@ main(int argc, char **argv)
         }
         if (command == "stats" && !jsonStats)
             return printHumanStats(resp);
-        if (command == "status" && !jsonStats) {
-            const Json &sweeps = resp.get("sweeps");
-            if (sweeps.size() == 0) {
-                std::printf("no active sweeps\n");
-                return 0;
-            }
-            for (std::size_t i = 0; i < sweeps.size(); ++i) {
-                const Json &row = sweeps.at(i);
-                std::printf(
-                    "%-6s client %-16s prio %-3lld %llu/%llu "
-                    "streamed (%llu cancelled)\n",
-                    row.get("sweep").asString().c_str(),
-                    row.get("client").asString().c_str(),
-                    (long long)row.get("priority").asI64(),
-                    (unsigned long long)
-                        row.get("streamed").asU64(),
-                    (unsigned long long)row.get("unique").asU64(),
-                    (unsigned long long)
-                        row.get("cancelled").asU64());
-            }
-            return 0;
-        }
+        if (command == "status" && !jsonStats)
+            return printHumanStatus(resp);
         std::printf("%s\n", resp.dump().c_str());
+        return 0;
+    }
+
+    if (command == "top") {
+        // Live view: redraw status + stats every --interval seconds.
+        // Each frame is one full-screen repaint (home + clear-below),
+        // so a dying daemon leaves the last good frame on screen.
+        for (unsigned n = 0; iterations == 0 || n < iterations; ++n) {
+            if (n)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(interval));
+            Json status, stats;
+            if (!client.status(status, &why) ||
+                !client.stats(stats, &why)) {
+                std::fprintf(stderr, "asapctl: %s\n", why.c_str());
+                return 1;
+            }
+            std::printf("\033[H\033[J=== asapd %s (refresh %.1fs, "
+                        "^C to quit) ===\n",
+                        copt.socketPath.c_str(), interval);
+            printHumanStatus(status);
+            printHumanStats(stats);
+            std::fflush(stdout);
+        }
         return 0;
     }
 

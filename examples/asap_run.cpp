@@ -15,6 +15,7 @@
  * Examples:
  *   asap_run cceh model=asap persistency=rp numCores=8
  *   asap_run nstore model=hops ops=500
+ *   asap_run serve:kv-zipf model=asap numCores=4 ops=5000
  *   asap_run cceh saveTrace=/tmp/cceh.trace
  *   asap_run cceh loadTrace=/tmp/cceh.trace model=baseline
  */
@@ -22,10 +23,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "harness/system.hh"
+#include "pm/recorder.hh"
 #include "pm/trace_io.hh"
+#include "serve/op_stream.hh"
+#include "serve/scenario.hh"
 #include "workloads/registry.hh"
 
 using namespace asap;
@@ -72,14 +77,30 @@ main(int argc, char **argv)
                 toString(cfg.persistency).c_str(), cfg.numCores,
                 cfg.numMCs, params.opsPerThread);
 
-    TraceSet traces = load_path.empty()
-                          ? buildTrace(argv[1], cfg.numCores, params)
-                          : loadTrace(load_path);
-    if (!save_path.empty())
-        saveTrace(traces, save_path);
-
     System sys(cfg);
-    sys.loadTrace(std::move(traces));
+    std::unique_ptr<ServeStream> stream;
+    if (load_path.empty() && isServeWorkload(argv[1])) {
+        // Serving scenarios generate ops on demand; only materialize
+        // (under the recorder's op cap) when a trace file was asked
+        // for, otherwise run the constant-memory streaming path.
+        const ServeScenario &sc = findServeScenario(argv[1]);
+        stream = std::make_unique<ServeStream>(sc, cfg.numCores, params);
+        if (!save_path.empty()) {
+            TraceSet traces =
+                materializeStream(*stream, TraceRecorder::traceOpCap());
+            saveTrace(traces, save_path);
+            sys.loadTrace(std::move(traces));
+        } else {
+            sys.loadStream(*stream);
+        }
+    } else {
+        TraceSet traces = load_path.empty()
+                              ? buildTrace(argv[1], cfg.numCores, params)
+                              : loadTrace(load_path);
+        if (!save_path.empty())
+            saveTrace(traces, save_path);
+        sys.loadTrace(std::move(traces));
+    }
     const bool ok = sys.run();
     std::printf("%s\n", sys.stats().dump().c_str());
     std::printf("sim.finished %d\n", ok ? 1 : 0);

@@ -159,4 +159,50 @@ grep -q '"scheduler"' "$TMP/svc_stats.json"
 wait "$ASAPD_PID"
 [ ! -S "$TMP/asap.sock" ]
 
-echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay, kernel bench and sweep service all passed"
+# Serving-scenario smoke: the streaming subsystem's guarantees, held
+# the same way as everything above. Stdout must be byte-identical
+# across worker counts, the CSV must carry the persist-latency tail
+# columns, and a 10x-longer run must not grow peak RSS by more than
+# 2x (the constant-memory claim — materialized traces would grow
+# linearly). Small request counts keep this TSan-compatible.
+"$BUILD/bench/serve_bench" --jobs 4 --ops 400 --cores 4 \
+    --scenario kv-zipf,tenant-mix --json "$TMP/serve.csv" \
+    > "$TMP/serve_par.txt"
+"$BUILD/bench/serve_bench" --jobs 1 --ops 400 --cores 4 \
+    --scenario kv-zipf,tenant-mix > "$TMP/serve_ser.txt"
+diff "$TMP/serve_par.txt" "$TMP/serve_ser.txt"
+grep -q 'persistP999' "$TMP/serve.csv"
+grep -q '^serve:kv-zipf,' "$TMP/serve.csv"
+"$BUILD/bench/serve_bench" --jobs 1 --ops 1000 --cores 4 \
+    --scenario kv-zipf --models asap_rp \
+    > /dev/null 2> "$TMP/serve_rss_small.txt"
+"$BUILD/bench/serve_bench" --jobs 1 --ops 10000 --cores 4 \
+    --scenario kv-zipf --models asap_rp \
+    > /dev/null 2> "$TMP/serve_rss_big.txt"
+RSS_SMALL="$(sed -n 's/^\[rss\] peak \([0-9]*\) KB$/\1/p' "$TMP/serve_rss_small.txt")"
+RSS_BIG="$(sed -n 's/^\[rss\] peak \([0-9]*\) KB$/\1/p' "$TMP/serve_rss_big.txt")"
+[ -n "$RSS_SMALL" ] && [ -n "$RSS_BIG" ]
+[ "$RSS_BIG" -le "$((RSS_SMALL * 2))" ]
+
+# Serving through the daemon: the same sweep routed to an asapd must
+# be byte-identical to the in-process run (the wire codec carries
+# serve jobs), and asapctl top must render a couple of frames.
+"$BUILD/bench/asapd" --socket "$TMP/serve.sock" \
+    --cache-dir "$TMP/serve-cache" --workers 4 \
+    2> "$TMP/serve_asapd.log" &
+SERVED_PID=$!
+for _ in $(seq 50); do
+    [ -S "$TMP/serve.sock" ] && break
+    sleep 0.1
+done
+"$BUILD/bench/serve_bench" --ops 400 --cores 4 \
+    --scenario kv-zipf,tenant-mix --daemon "$TMP/serve.sock" \
+    > "$TMP/serve_svc.txt"
+diff "$TMP/serve_par.txt" "$TMP/serve_svc.txt"
+"$BUILD/bench/asapctl" --socket "$TMP/serve.sock" top \
+    --interval 0.2 --iterations 2 > "$TMP/serve_top.txt"
+grep -q 'daemon:' "$TMP/serve_top.txt"
+"$BUILD/bench/asapctl" --socket "$TMP/serve.sock" shutdown > /dev/null
+wait "$SERVED_PID"
+
+echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay, kernel bench, sweep service and serving scenarios all passed"

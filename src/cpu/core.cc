@@ -11,9 +11,9 @@ namespace asap
 Core::Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
            StatSet &stats, CacheHierarchy &caches, ReleaseBoard &board,
            std::vector<PersistModel *> &models, RunLog *log,
-           const std::vector<TraceOp> &ops)
+           OpSource &src)
     : thread(thread), cfg(cfg), eq(eq), stats(stats), caches(caches),
-      board(board), models(models), log(log), ops(ops),
+      board(board), models(models), log(log), src(src),
       epConflicts(cfg.persistency == PersistencyModel::Epoch &&
                   (cfg.model == ModelKind::Hops ||
                    cfg.model == ModelKind::Asap)),
@@ -22,7 +22,8 @@ Core::Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
       stOfences(&stats.counter("core.ofences")),
       stDfences(&stats.counter("core.dfences")),
       stReleases(&stats.counter("core.releases")),
-      stAcquires(&stats.counter("core.acquires"))
+      stAcquires(&stats.counter("core.acquires")),
+      stPersistLat(&stats.logHist("core.persistLatency"))
 {
 }
 
@@ -61,8 +62,8 @@ Core::next()
 {
     if (halted || done)
         return;
-    panic_if(pc >= ops.size(), "core ", thread, " ran off its trace");
-    const TraceOp &op = ops[pc++];
+    const TraceOp op = src.next(thread);
+    ++pc;
     ++*stOpsRetired;
 
     switch (op.type) {
@@ -101,10 +102,18 @@ Core::next()
         model().ofence([this]() { scheduleNext(1); });
         return;
 
-      case OpType::DFence:
+      case OpType::DFence: {
         ++*stDfences;
-        model().dfence([this]() { scheduleNext(1); });
+        // Persist latency: how long this thread waited for durability.
+        // Completion runs in the core's own domain, so sampling here is
+        // identical under the sequential and parallel kernels.
+        const Tick issued = eq.now();
+        model().dfence([this, issued]() {
+            stPersistLat->sample(eq.now() - issued);
+            scheduleNext(1);
+        });
         return;
+      }
 
       case OpType::Release: {
         ++*stReleases;

@@ -24,6 +24,7 @@
 
 #include "coherence/cache_hierarchy.hh"
 #include "cpu/op.hh"
+#include "cpu/op_source.hh"
 #include "cpu/release_board.hh"
 #include "persist/model.hh"
 #include "recovery/run_log.hh"
@@ -41,7 +42,7 @@ class Core
     Core(std::uint16_t thread, const SimConfig &cfg, EventQueue &eq,
          StatSet &stats, CacheHierarchy &caches, ReleaseBoard &board,
          std::vector<PersistModel *> &models, RunLog *log,
-         const std::vector<TraceOp> &ops);
+         OpSource &src);
 
     /** Schedule the first operation. */
     void start();
@@ -72,7 +73,7 @@ class Core
     ReleaseBoard &board;
     std::vector<PersistModel *> &models;
     RunLog *log;
-    const std::vector<TraceOp> &ops;
+    OpSource &src;
 
     bool epConflicts; //!< EP mode with dependency-tracking hardware
 
@@ -83,6 +84,7 @@ class Core
     std::uint64_t *stDfences;
     std::uint64_t *stReleases;
     std::uint64_t *stAcquires;
+    LogHistogram *stPersistLat; //!< dfence issue→complete tick deltas
 
     std::size_t pc = 0;
     bool done = false;

@@ -37,8 +37,13 @@ namespace
  *  cross-domain orderings (and therefore some stats) shift. Note
  *  --par-domains itself is deliberately NOT part of the job key: the
  *  parallel engine is bit-identical to the sequential one, so both
- *  may share cache entries. */
-constexpr const char *kCodeSalt = "asap-sim-v4";
+ *  may share cache entries.
+ *
+ *  v5: the serving subsystem (src/serve/) — results gained the
+ *  persist-latency tail fields (persistSamples/P50/P99/P999/Max) and
+ *  serveRequests; the key conditionally gained mediaPerMc. Entries
+ *  written by v4 would deserialize with them silently zero. */
+constexpr const char *kCodeSalt = "asap-sim-v5";
 
 /** Age beyond which an abandoned temp file is certainly garbage (no
  *  writer holds an insert open for minutes). */
@@ -110,6 +115,11 @@ describeJob(const ExperimentJob &job)
        << "valueBytes=" << p.valueBytes << '\n'
        << "updatePct=" << p.updatePct << '\n'
        << "paramSeed=" << p.seed << '\n';
+    // Appended only when set so every homogeneous-media key (and the
+    // disk caches written before heterogeneous media existed) stays
+    // unchanged.
+    if (!c.mediaPerMc.empty())
+        os << "mediaPerMc=" << c.mediaPerMc << '\n';
     // Appended only for crash jobs so Run keys (and therefore every
     // disk cache written before crash jobs existed) stay unchanged.
     if (job.kind == JobKind::Crash) {
@@ -168,7 +178,13 @@ appendResultFields(std::ostringstream &os, const RunResult &r)
        << "mediaBankBusyTicks " << r.mediaBankBusyTicks << '\n'
        // hostNs is deliberately absent: host wall time is
        // non-deterministic and must never round-trip through a cache.
-       << "eventsExecuted " << r.eventsExecuted << '\n';
+       << "eventsExecuted " << r.eventsExecuted << '\n'
+       << "persistSamples " << r.persistSamples << '\n'
+       << "persistP50 " << r.persistP50 << '\n'
+       << "persistP99 " << r.persistP99 << '\n'
+       << "persistP999 " << r.persistP999 << '\n'
+       << "persistMax " << r.persistMax << '\n'
+       << "serveRequests " << r.serveRequests << '\n';
 }
 
 } // namespace
@@ -294,6 +310,12 @@ deserializeEntry(const std::string &text, CachedResult &out,
         else if (field == "mediaBankBusyTicks")
             is >> r.mediaBankBusyTicks;
         else if (field == "eventsExecuted") is >> r.eventsExecuted;
+        else if (field == "persistSamples") is >> r.persistSamples;
+        else if (field == "persistP50") is >> r.persistP50;
+        else if (field == "persistP99") is >> r.persistP99;
+        else if (field == "persistP999") is >> r.persistP999;
+        else if (field == "persistMax") is >> r.persistMax;
+        else if (field == "serveRequests") is >> r.serveRequests;
         else if (field == "vConsistent") {
             int b = 0;
             is >> b;

@@ -91,6 +91,40 @@ constexpr Field kMediaFields[] = {
      true},
 };
 
+/** Persist-latency tail + request throughput: emitted only for sweeps
+ *  with serve:* jobs, so every pre-serving artifact keeps its schema.
+ *  Latencies are in ticks (cycles @2 GHz); consumers divide by 2 for
+ *  nanoseconds. */
+constexpr Field kServeFields[] = {
+    {"persistSamples",
+     [](const RunResult &r) { return double(r.persistSamples); }, true},
+    {"persistP50",
+     [](const RunResult &r) { return double(r.persistP50); }, true},
+    {"persistP99",
+     [](const RunResult &r) { return double(r.persistP99); }, true},
+    {"persistP999",
+     [](const RunResult &r) { return double(r.persistP999); }, true},
+    {"persistMax",
+     [](const RunResult &r) { return double(r.persistMax); }, true},
+    {"serveRequests",
+     [](const RunResult &r) { return double(r.serveRequests); }, true},
+};
+
+/** Media column label: the profile, or the '+'-joined per-MC list on
+ *  heterogeneous jobs (',' is the CSV delimiter). */
+std::string
+mediaLabel(const SimConfig &cfg)
+{
+    if (cfg.mediaPerMc.empty())
+        return cfg.mediaProfile;
+    std::string label = cfg.mediaPerMc;
+    for (char &c : label) {
+        if (c == ',')
+            c = '+';
+    }
+    return label;
+}
+
 void
 emitValue(std::ostream &os, const Field &f, const RunResult &r)
 {
@@ -129,6 +163,7 @@ emitJson(std::ostream &os, const SweepResult &sr)
        << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
        << "  \"results\": [\n";
     const bool media = sr.hasNonDefaultMedia();
+    const bool serve = sr.hasServeJobs();
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
         const ExperimentJob &j = sr.jobs[i];
         const RunResult &r = sr.results[i];
@@ -137,7 +172,7 @@ emitJson(std::ostream &os, const SweepResult &sr)
            << "\", \"persistency\": \"" << toString(j.cfg.persistency)
            << "\", \"cores\": " << j.cfg.numCores;
         if (media)
-            os << ", \"media\": \"" << jsonEscape(j.cfg.mediaProfile)
+            os << ", \"media\": \"" << jsonEscape(mediaLabel(j.cfg))
                << '"';
         os << ", \"seed\": " << j.params.seed
            << ", \"opsPerThread\": " << j.params.opsPerThread;
@@ -147,6 +182,12 @@ emitJson(std::ostream &os, const SweepResult &sr)
         }
         if (media) {
             for (const Field &f : kMediaFields) {
+                os << ", \"" << f.name << "\": ";
+                emitValue(os, f, r);
+            }
+        }
+        if (serve) {
+            for (const Field &f : kServeFields) {
                 os << ", \"" << f.name << "\": ";
                 emitValue(os, f, r);
             }
@@ -183,6 +224,7 @@ emitCsv(std::ostream &os, const SweepResult &sr)
     // existing Run-only artifacts keep their column set.
     const bool crash = sr.hasCrashJobs();
     const bool media = sr.hasNonDefaultMedia();
+    const bool serve = sr.hasServeJobs();
     os << "workload,model,persistency,cores";
     if (media)
         os << ",media";
@@ -191,6 +233,10 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         os << ',' << f.name;
     if (media) {
         for (const Field &f : kMediaFields)
+            os << ',' << f.name;
+    }
+    if (serve) {
+        for (const Field &f : kServeFields)
             os << ',' << f.name;
     }
     if (crash)
@@ -204,7 +250,7 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         os << j.workload << ',' << toString(j.cfg.model) << ','
            << toString(j.cfg.persistency) << ',' << j.cfg.numCores;
         if (media)
-            os << ',' << j.cfg.mediaProfile;
+            os << ',' << mediaLabel(j.cfg);
         os << ',' << j.params.seed << ',' << j.params.opsPerThread;
         for (const Field &f : kFields) {
             os << ',';
@@ -212,6 +258,12 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         }
         if (media) {
             for (const Field &f : kMediaFields) {
+                os << ',';
+                emitValue(os, f, r);
+            }
+        }
+        if (serve) {
+            for (const Field &f : kServeFields) {
                 os << ',';
                 emitValue(os, f, r);
             }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "exp/pool.hh"
+#include "serve/scenario.hh"
 #include "sim/log.hh"
 
 namespace asap
@@ -101,7 +102,18 @@ bool
 SweepResult::hasNonDefaultMedia() const
 {
     for (const ExperimentJob &j : jobs) {
-        if (j.cfg.mediaProfile != kDefaultMediaProfile)
+        if (j.cfg.mediaProfile != kDefaultMediaProfile ||
+            !j.cfg.mediaPerMc.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+SweepResult::hasServeJobs() const
+{
+    for (const ExperimentJob &j : jobs) {
+        if (isServeWorkload(j.workload))
             return true;
     }
     return false;

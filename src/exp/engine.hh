@@ -84,6 +84,11 @@ struct SweepResult
      *  keep their pre-media artifact schema byte-for-byte). */
     bool hasNonDefaultMedia() const;
 
+    /** True if any job is a streaming serve:* scenario (gates the
+     *  persist-latency tail + request-throughput columns the same
+     *  way hasNonDefaultMedia gates the media columns). */
+    bool hasServeJobs() const;
+
     /** Indices of crash jobs whose verdict is inconsistent. */
     std::vector<std::size_t> inconsistentJobs() const;
 

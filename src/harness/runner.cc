@@ -14,6 +14,7 @@
 #include "harness/system.hh"
 #include "pm/trace_io.hh"
 #include "recovery/checker.hh"
+#include "serve/op_stream.hh"
 #include "sim/hash.hh"
 #include "sim/log.hh"
 #include "workloads/registry.hh"
@@ -75,6 +76,15 @@ buildJobTrace(const std::string &workload, const SimConfig &cfg,
         TraceRecorder rec(cfg.numCores, p.seed);
         genHandoffMicrobench(rec, p.opsPerThread);
         return rec.finish();
+    }
+    if (isServeWorkload(workload)) {
+        // Serving scenarios exist for streaming, but materializing
+        // them keeps record/replay and crash experiments working on
+        // small request counts. Purity guarantees the materialized
+        // trace replays byte-identically to the stream.
+        const ServeScenario &sc = findServeScenario(workload);
+        ServeStream stream(sc, cfg.numCores, p);
+        return materializeStream(stream, TraceRecorder::traceOpCap());
     }
     return buildTrace(workload, cfg.numCores, p);
 }
@@ -203,6 +213,16 @@ extractResult(System &sys, const std::string &workload,
     r.persistency = cfg.persistency;
     r.cores = cfg.numCores;
     r.media = cfg.mediaProfile;
+    if (!cfg.mediaPerMc.empty()) {
+        // Heterogeneous runs label the whole list. '+' instead of ','
+        // keeps the label one whitespace-free, comma-free token (cache
+        // entries are whitespace-delimited, CSV is comma-delimited).
+        r.media = cfg.mediaPerMc;
+        for (char &c : r.media) {
+            if (c == ',')
+                c = '+';
+        }
+    }
     r.runTicks = sys.runTicks();
     r.pmWrites = s.get("mc.pmWrites");
     r.pmReads = s.get("mc.pmReads");
@@ -228,6 +248,17 @@ extractResult(System &sys, const std::string &workload,
     if (s.hasDist("pb.occupancy")) {
         r.pbOccMean = s.dist("pb.occupancy").mean();
         r.pbOccP99 = s.dist("pb.occupancy").percentile(99.0);
+    }
+    {
+        auto it = s.allLogHists().find("core.persistLatency");
+        if (it != s.allLogHists().end()) {
+            const LogHistogram &h = it->second;
+            r.persistSamples = h.count();
+            r.persistP50 = h.percentile(50.0);
+            r.persistP99 = h.percentile(99.0);
+            r.persistP999 = h.percentile(99.9);
+            r.persistMax = h.max();
+        }
     }
     r.eventsExecuted = s.get("sim.eventsExecuted");
     return r;
@@ -301,9 +332,20 @@ runExperiment(const std::string &workload, const SimConfig &cfg,
 {
     SimConfig runCfg = cfg;
     unsigned restarts = 0;
+    const bool serve = isServeWorkload(workload);
     for (;;) {
         System sys(runCfg);
-        sys.loadTrace(obtainJobTrace(workload, runCfg, p));
+        // Streaming scenarios never materialize: cores pull ops out of
+        // the generator as they retire, so RSS is bounded by the
+        // keyspace footprint however many requests the run serves.
+        std::unique_ptr<ServeStream> stream;
+        if (serve) {
+            stream = std::make_unique<ServeStream>(
+                findServeScenario(workload), runCfg.numCores, p);
+            sys.loadStream(*stream);
+        } else {
+            sys.loadTrace(obtainJobTrace(workload, runCfg, p));
+        }
         const std::uint64_t t0 = hostNowNs();
         const bool finished = sys.run();
         const std::uint64_t simNs = hostNowNs() - t0;
@@ -326,6 +368,8 @@ runExperiment(const std::string &workload, const SimConfig &cfg,
         profSimRuns.fetch_add(1, std::memory_order_relaxed);
         accountKernel(eq);
         RunResult r = extractResult(sys, workload, cfg);
+        if (stream)
+            r.serveRequests = stream->requestsGenerated();
         r.hostNs = simNs;
         r.parDomains = eq.parallel() ? runCfg.parDomains : 1;
         r.parRounds = eq.parallelRounds();

@@ -55,6 +55,22 @@ struct RunResult
     std::uint64_t mediaQueueDelayTicks = 0;   //!< bandwidth-cap queueing
     std::uint64_t mediaBankBusyTicks = 0;     //!< summed bank occupancy
 
+    /**
+     * Persist-latency tail (serving observability): per-dfence
+     * issue→completion tick deltas sampled into a log-bucketed
+     * histogram by every core. Deterministic — pure functions of the
+     * configuration — so they are cached and emitted like any other
+     * stat (emitters surface them for serve:* jobs).
+     */
+    std::uint64_t persistSamples = 0; //!< dfences sampled
+    std::uint64_t persistP50 = 0;     //!< median persist latency (ticks)
+    std::uint64_t persistP99 = 0;     //!< p99 persist latency (ticks)
+    std::uint64_t persistP999 = 0;    //!< p999 persist latency (ticks)
+    std::uint64_t persistMax = 0;     //!< worst persist latency (ticks)
+    /** Requests a streaming serve:* run generated (0 for materialized
+     *  workloads); throughput = serveRequests / runTicks seconds. */
+    std::uint64_t serveRequests = 0;
+
     /** Kernel events the run executed. Deterministic (a pure function
      *  of the configuration), so it is cached and emitted like any
      *  other stat. */

@@ -150,14 +150,26 @@ System::loadTrace(TraceSet traces)
     fatal_if(traces.threads.size() != cfg.numCores,
              "trace has ", traces.threads.size(), " threads but the "
              "system has ", cfg.numCores, " cores");
-    traces_ = std::move(traces);
     for (unsigned t = 0; t < cfg.numCores; ++t) {
-        fatal_if(traces_.threads[t].empty() ||
-                 traces_.threads[t].back().type != OpType::End,
+        fatal_if(traces.threads[t].empty() ||
+                 traces.threads[t].back().type != OpType::End,
                  "thread ", t, " trace must end with an End op");
+    }
+    ownedSource = std::make_unique<MaterializedSource>(std::move(traces));
+    loadStream(*ownedSource);
+}
+
+void
+System::loadStream(OpSource &src)
+{
+    fatal_if(src.numThreads() != cfg.numCores,
+             "op source has ", src.numThreads(), " threads but the "
+             "system has ", cfg.numCores, " cores");
+    panic_if(!cores.empty(), "loadStream() called twice");
+    for (unsigned t = 0; t < cfg.numCores; ++t) {
         cores.push_back(std::make_unique<Core>(
             t, cfg, eq, stats_, *caches, *board, models,
-            keepRunLog ? &log : nullptr, traces_.threads[t]));
+            keepRunLog ? &log : nullptr, src));
     }
 }
 

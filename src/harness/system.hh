@@ -15,6 +15,7 @@
 #include "coherence/cache_hierarchy.hh"
 #include "cpu/core.hh"
 #include "cpu/op.hh"
+#include "cpu/op_source.hh"
 #include "cpu/release_board.hh"
 #include "core/recovery_table.hh"
 #include "mem/address_map.hh"
@@ -46,8 +47,16 @@ class System
     System &operator=(const System &) = delete;
 
     /** Install the traces (one stream per core) and create the cores.
-     *  The system takes ownership of the trace set. */
+     *  The system takes ownership of the trace set (wrapped in a
+     *  MaterializedSource — byte-identical to the classic replay). */
     void loadTrace(TraceSet traces);
+
+    /**
+     * Install a streaming op source (one stream per core) and create
+     * the cores. The source is NOT owned; it must outlive run(). This
+     * is the constant-memory path used by src/serve/ scenarios.
+     */
+    void loadStream(OpSource &src);
 
     /**
      * Run to completion.
@@ -103,7 +112,7 @@ class System
     std::unique_ptr<ModelContext> ctx;
     std::vector<std::unique_ptr<PersistModel>> modelOwners;
     std::vector<PersistModel *> models;
-    TraceSet traces_;
+    std::unique_ptr<MaterializedSource> ownedSource; //!< loadTrace path
     std::vector<std::unique_ptr<Core>> cores;
 
     Tick runTicks_ = 0;

@@ -159,16 +159,18 @@ isMediaProfile(const std::string &name)
     return findProfile(name) != nullptr;
 }
 
-MediaParams
-resolveMediaParams(const SimConfig &cfg)
+namespace
 {
-    const ProfileEntry *entry = findProfile(cfg.mediaProfile);
+
+MediaParams
+resolveNamedProfile(const SimConfig &cfg, const std::string &name)
+{
+    const ProfileEntry *entry = findProfile(name);
     if (!entry) {
         std::string known;
         for (const ProfileEntry &e : kProfiles)
             known += (known.empty() ? "" : "|") + e.info.name;
-        fatal("unknown media profile '", cfg.mediaProfile, "' (want ",
-              known, ")");
+        fatal("unknown media profile '", name, "' (want ", known, ")");
     }
     MediaParams p;
     p.profile = entry->info.name;
@@ -188,10 +190,46 @@ resolveMediaParams(const SimConfig &cfg)
     return p;
 }
 
+} // namespace
+
+MediaParams
+resolveMediaParams(const SimConfig &cfg)
+{
+    return resolveNamedProfile(cfg, cfg.mediaProfile);
+}
+
+MediaParams
+resolveMediaParamsFor(const SimConfig &cfg, unsigned mcId)
+{
+    if (cfg.mediaPerMc.empty())
+        return resolveMediaParams(cfg);
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while (pos <= cfg.mediaPerMc.size()) {
+        std::size_t comma = cfg.mediaPerMc.find(',', pos);
+        if (comma == std::string::npos)
+            comma = cfg.mediaPerMc.size();
+        names.push_back(cfg.mediaPerMc.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    fatal_if(names.empty(), "mediaPerMc is set but empty");
+    for (const std::string &n : names)
+        fatal_if(n.empty(), "mediaPerMc '", cfg.mediaPerMc,
+                 "' has an empty entry");
+    return resolveNamedProfile(cfg, names[mcId % names.size()]);
+}
+
 std::unique_ptr<MediaModel>
 makeMediaModel(const SimConfig &cfg)
 {
     return std::make_unique<QueuedMediaModel>(resolveMediaParams(cfg));
+}
+
+std::unique_ptr<MediaModel>
+makeMediaModelFor(const SimConfig &cfg, unsigned mcId)
+{
+    return std::make_unique<QueuedMediaModel>(
+        resolveMediaParamsFor(cfg, mcId));
 }
 
 } // namespace asap

@@ -76,6 +76,14 @@ bool isMediaProfile(const std::string &name);
 MediaParams resolveMediaParams(const SimConfig &cfg);
 
 /**
+ * Like resolveMediaParams, but honours cfg.mediaPerMc: when the
+ * comma-separated list is non-empty, MC @p mcId resolves the profile
+ * at list[mcId % len] (the `media*` override knobs still apply).
+ * Fatal on an unknown name anywhere in the list.
+ */
+MediaParams resolveMediaParamsFor(const SimConfig &cfg, unsigned mcId);
+
+/**
  * One memory controller's view of its media device. Stateful: the
  * bandwidth cap is enforced per instance, so every MC owns one.
  */
@@ -131,6 +139,10 @@ class MediaModel
 
 /** Build the media model @p cfg selects (fatal on unknown profile). */
 std::unique_ptr<MediaModel> makeMediaModel(const SimConfig &cfg);
+
+/** Build MC @p mcId's media model, honouring cfg.mediaPerMc. */
+std::unique_ptr<MediaModel> makeMediaModelFor(const SimConfig &cfg,
+                                              unsigned mcId);
 
 } // namespace asap
 

@@ -20,7 +20,7 @@ MemoryController::MemoryController(unsigned id, const SimConfig &cfg,
                                    EventQueue &eq, NvmContents &media,
                                    StatSet &stats)
     : id_(id), cfg(cfg), eq(eq), media(media), stats(stats),
-      mediaModel_(makeMediaModel(cfg)), wpq(cfg.wpqEntries),
+      mediaModel_(makeMediaModelFor(cfg, id)), wpq(cfg.wpqEntries),
       xpBuffer(cfg.xpBufferLines),
       statPrefix("mc" + std::to_string(id) + "."),
       aggInline_(!eq.parallel()),

@@ -1,7 +1,41 @@
 #include "pm/recorder.hh"
 
+#include <cstdlib>
+
 namespace asap
 {
+
+namespace
+{
+
+std::uint64_t
+initialTraceOpCap()
+{
+    if (const char *env = std::getenv("ASAP_MAX_TRACE_OPS"))
+        return std::strtoull(env, nullptr, 0);
+    return 32ull << 20; // 32 M ops ≈ 1.3 GB of TraceOps
+}
+
+std::uint64_t &
+traceOpCapSlot()
+{
+    static std::uint64_t cap = initialTraceOpCap();
+    return cap;
+}
+
+} // namespace
+
+std::uint64_t
+TraceRecorder::traceOpCap()
+{
+    return traceOpCapSlot();
+}
+
+void
+TraceRecorder::setTraceOpCap(std::uint64_t cap)
+{
+    traceOpCapSlot() = cap;
+}
 
 TraceRecorder::TraceRecorder(unsigned num_threads, std::uint64_t seed,
                              std::size_t pm_bytes)
@@ -16,6 +50,13 @@ TraceRecorder::push(unsigned t, TraceOp op)
 {
     panic_if(finished, "recording after finish()");
     panic_if(t >= nThreads, "recording on unknown thread ", t);
+    const std::uint64_t cap = traceOpCap();
+    ++totalOps;
+    fatal_if(cap != 0 && totalOps > cap,
+             "materialized trace exceeds the ", cap, "-op cap; runs "
+             "this large should stream ops instead of materializing "
+             "them — use a serve:* scenario (src/serve/, serve_bench) "
+             "or raise ASAP_MAX_TRACE_OPS");
     traces.threads[t].push_back(op);
 }
 

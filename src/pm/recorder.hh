@@ -97,6 +97,17 @@ class TraceRecorder
         return traces.threads[t].size();
     }
 
+    /**
+     * Guardrail: largest total op count a recorder may materialize
+     * before failing loudly (0 = unlimited). Defaults to 32 M ops
+     * (~1.3 GB of TraceOps) and is overridable via the
+     * ASAP_MAX_TRACE_OPS environment variable. Runs that need more
+     * should use the streaming path (src/serve/, serve_bench) which
+     * generates ops in constant memory.
+     */
+    static std::uint64_t traceOpCap();
+    static void setTraceOpCap(std::uint64_t cap);
+
   private:
     void push(unsigned t, TraceOp op);
     std::uint64_t nextToken(unsigned t);
@@ -107,6 +118,7 @@ class TraceRecorder
     TraceSet traces;
     std::vector<std::uint64_t> releaseCount;
     std::uint64_t tokenSeq = 1;
+    std::uint64_t totalOps = 0;
     bool finished = false;
 };
 

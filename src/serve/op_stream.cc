@@ -1,0 +1,330 @@
+#include "serve/op_stream.hh"
+
+#include <algorithm>
+
+#include "mem/packets.hh"
+#include "sim/log.hh"
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+namespace
+{
+
+/**
+ * Fabricated address layout. Regions sit in high address space,
+ * disjoint per tenant and per purpose, far above anything a
+ * PmSpace-backed recorder workload allocates. RSS of a run is bounded
+ * by the *distinct lines written* (keyspace + wrapped logs), never by
+ * the op count — the logs wrap, the tables are keyspace-sized.
+ */
+constexpr std::uint64_t kWalBytes = 1u << 20;  //!< per-thread log, wraps
+constexpr unsigned kLockWords = 128;           //!< lock lines per tenant
+
+std::uint64_t
+tableBase(unsigned tenant)
+{
+    return (static_cast<std::uint64_t>(tenant) + 1) << 40;
+}
+
+std::uint64_t
+slabBase(unsigned tenant)
+{
+    return tableBase(tenant) + (std::uint64_t(1) << 36);
+}
+
+std::uint64_t
+walBase(unsigned tenant, unsigned t)
+{
+    return tableBase(tenant) + (std::uint64_t(2) << 36) +
+           static_cast<std::uint64_t>(t) * (std::uint64_t(1) << 26);
+}
+
+std::uint64_t
+lockBase(unsigned tenant)
+{
+    return (std::uint64_t(0x7f) << 40) +
+           static_cast<std::uint64_t>(tenant) * (std::uint64_t(1) << 20);
+}
+
+/** Per-(seed, thread) RNG seed: distinct streams, stable forever. */
+std::uint64_t
+threadSeed(std::uint64_t seed, unsigned t)
+{
+    return hash64(seed * 0x9e3779b97f4a7c15ULL + t + 1);
+}
+
+/** Ops to buffer ahead per thread: enough to amortize refill, small
+ *  enough that a ring is trivially cache-resident. */
+constexpr std::size_t kChunkOps = 256;
+
+} // namespace
+
+ServeStream::ServeStream(const ServeScenario &sc, unsigned threads,
+                         const WorkloadParams &p)
+    : scenario(sc), params(p),
+      itemLines(std::max(1u, (p.valueBytes + lineBytes - 1) / lineBytes))
+{
+    fatal_if(threads == 0, "serve stream needs at least one thread");
+    fatal_if(p.keySpace == 0, "serve stream over an empty keyspace");
+    fatal_if(scenario.tenantClasses.empty(), "scenario '",
+             scenario.name, "' has no tenant classes");
+    if (scenario.zipfTheta > 0.0)
+        zipf = std::make_unique<ZipfSampler>(p.keySpace,
+                                             scenario.zipfTheta);
+    state.resize(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadState &ts = state[t];
+        ts.rng.reseed(threadSeed(p.seed, t));
+        const auto n =
+            static_cast<unsigned>(scenario.tenantClasses.size());
+        ts.tenant = t % n;
+        ts.klass = scenario.tenantClasses[ts.tenant];
+        ts.buf.reserve(kChunkOps + 64);
+    }
+}
+
+TraceOp
+ServeStream::next(unsigned t)
+{
+    panic_if(t >= state.size(), "serve stream pull on unknown thread ",
+             t);
+    ThreadState &ts = state[t];
+    if (ts.head >= ts.buf.size()) {
+        panic_if(ts.ended, "core ", t, " pulled past its End op");
+        refill(t, ts);
+    }
+    return ts.buf[ts.head++];
+}
+
+std::uint64_t
+ServeStream::requestsGenerated() const
+{
+    std::uint64_t n = 0;
+    for (const ThreadState &ts : state)
+        n += ts.requestsDone;
+    return n;
+}
+
+void
+ServeStream::refill(unsigned t, ThreadState &ts)
+{
+    ts.buf.clear();
+    ts.head = 0;
+    while (ts.buf.size() < kChunkOps &&
+           ts.requestsDone < params.opsPerThread) {
+        genArrivalGap(ts);
+        switch (ts.klass) {
+          case ServeClass::KvCache: genKvRequest(t, ts); break;
+          case ServeClass::Oltp: genOltpRequest(t, ts); break;
+          case ServeClass::Txn: genTxnRequest(t, ts); break;
+        }
+        ++ts.requestsDone;
+    }
+    if (ts.requestsDone >= params.opsPerThread) {
+        TraceOp end;
+        end.type = OpType::End;
+        ts.buf.push_back(end);
+        ts.ended = true;
+    }
+    peakBuffered = std::max(peakBuffered, ts.buf.size());
+}
+
+void
+ServeStream::genArrivalGap(ThreadState &ts)
+{
+    if (!scenario.bursty)
+        return; // closed loop: requests arrive back to back
+    // Open-loop ON/OFF arrivals: a burst of closely spaced requests,
+    // then an idle gap — all drawn from the thread's own Rng so the
+    // schedule is part of the pure per-thread stream.
+    if (ts.burstLeft == 0) {
+        pushCompute(ts, static_cast<std::uint32_t>(
+                            2000 + ts.rng.below(6000)));
+        ts.burstLeft = static_cast<unsigned>(8 + ts.rng.below(56));
+    } else {
+        pushCompute(ts, static_cast<std::uint32_t>(
+                            10 + ts.rng.below(40)));
+        --ts.burstLeft;
+    }
+}
+
+void
+ServeStream::genKvRequest(unsigned t, ThreadState &ts)
+{
+    // memcached-style SET/GET (genMemcached shapes): parse, hash,
+    // then either publish an item (slab lines + bucket slot, each side
+    // ordered by an ofence, durable before the reply) or read one.
+    const std::uint64_t idx = zipf ? zipf->nextKeyIndex(ts.rng)
+                                   : ts.rng.below(params.keySpace);
+    const std::uint64_t key = makeKey(idx);
+    const std::uint64_t h = hash64(key);
+    const std::uint64_t slot = tableBase(ts.tenant) + idx * lineBytes;
+    const std::uint64_t item =
+        slabBase(ts.tenant) + idx * itemLines * lineBytes;
+    pushCompute(ts, 150); // request parsing
+    if (ts.rng.percent(params.updatePct)) {
+        // SET under the bucket lock word (volatile line shared by all
+        // threads of the tenant: EP directory conflicts happen here).
+        const std::uint64_t lock_line =
+            lockBase(ts.tenant) + (h % kLockWords) * lineBytes;
+        pushStore(t, ts, lock_line, false);
+        for (unsigned l = 0; l < itemLines; ++l)
+            pushStore(t, ts, item + l * lineBytes, true);
+        pushOFence(ts);
+        pushStore(t, ts, slot, true);
+        pushStore(t, ts, slot + 8, true);
+        pushOFence(ts);
+        pushStore(t, ts, lock_line, false);
+        pushDFence(ts); // durable before acking the client
+    } else {
+        // GET: bucket probe + item read, volatile LRU bookkeeping.
+        pushLoad(ts, slot, true);
+        for (unsigned l = 0; l < itemLines; ++l)
+            pushLoad(ts, item + l * lineBytes, true);
+        pushCompute(ts, 30);
+    }
+}
+
+void
+ServeStream::genOltpRequest(unsigned t, ThreadState &ts)
+{
+    // nstore-style transaction (genNstore shapes): WAL append, ofence,
+    // in-place tuple updates under a shared latch line, commit dfence.
+    pushCompute(ts, 150); // SQL parse/plan
+    const unsigned log_lines =
+        static_cast<unsigned>(3 + ts.rng.below(3));
+    const std::uint64_t wal = walBase(ts.tenant, t);
+    for (unsigned l = 0; l < log_lines; ++l) {
+        const std::uint64_t a = wal + (ts.walPos % (kWalBytes - lineBytes));
+        pushStore(t, ts, a, true);
+        pushStore(t, ts, a + 32, true);
+        ts.walPos += lineBytes;
+    }
+    pushOFence(ts); // log before data
+    const std::uint64_t latch_line =
+        lockBase(ts.tenant) + (ts.rng.below(kLockWords)) * lineBytes;
+    pushStore(t, ts, latch_line, false);
+    const unsigned touches = static_cast<unsigned>(1 + ts.rng.below(3));
+    for (unsigned u = 0; u < touches; ++u) {
+        const std::uint64_t idx = zipf ? zipf->nextKeyIndex(ts.rng)
+                                       : ts.rng.below(params.keySpace);
+        const std::uint64_t tuple =
+            tableBase(ts.tenant) + idx * lineBytes;
+        pushLoad(ts, tuple, true);
+        pushStore(t, ts, tuple, true);
+        pushStore(t, ts, tuple + 8, true);
+    }
+    pushStore(t, ts, latch_line, false);
+    pushDFence(ts); // transaction commit
+}
+
+void
+ServeStream::genTxnRequest(unsigned t, ThreadState &ts)
+{
+    // vacation-style PMDK transaction (genVacation shapes): per-row
+    // undo-log entry, ofence, data write; commit dfence; volatile
+    // bookkeeping tail.
+    pushCompute(ts, 120); // query planning / tree lookups
+    const std::uint64_t manager_line = lockBase(ts.tenant);
+    pushStore(t, ts, manager_line, false);
+    const std::uint64_t undo = walBase(ts.tenant, t);
+    const unsigned touches = static_cast<unsigned>(3 + ts.rng.below(3));
+    for (unsigned u = 0; u < touches; ++u) {
+        const std::uint64_t idx = zipf ? zipf->nextKeyIndex(ts.rng)
+                                       : ts.rng.below(params.keySpace);
+        const std::uint64_t row = tableBase(ts.tenant) + idx * lineBytes;
+        pushLoad(ts, row, true);
+        const std::uint64_t ua = undo + (ts.walPos % (kWalBytes - 16));
+        ts.walPos += 16;
+        pushStore(t, ts, ua, true);
+        pushStore(t, ts, ua + 8, true);
+        pushOFence(ts);
+        pushStore(t, ts, row, true);
+    }
+    pushDFence(ts); // transaction commit
+    pushCompute(ts, 900);
+    pushStore(t, ts, manager_line, false);
+}
+
+void
+ServeStream::pushCompute(ThreadState &ts, std::uint32_t cycles)
+{
+    if (cycles == 0)
+        return;
+    // Merge adjacent compute gaps (same compaction the recorder does).
+    if (!ts.buf.empty() && ts.buf.back().type == OpType::Compute) {
+        ts.buf.back().cycles += cycles;
+        return;
+    }
+    TraceOp op;
+    op.type = OpType::Compute;
+    op.cycles = cycles;
+    ts.buf.push_back(op);
+}
+
+void
+ServeStream::pushLoad(ThreadState &ts, std::uint64_t addr, bool is_pm)
+{
+    TraceOp op;
+    op.type = OpType::Load;
+    op.isPm = is_pm;
+    op.addr = addr;
+    ts.buf.push_back(op);
+}
+
+void
+ServeStream::pushStore(unsigned t, ThreadState &ts, std::uint64_t addr,
+                       bool is_pm)
+{
+    TraceOp op;
+    op.type = OpType::Store;
+    op.isPm = is_pm;
+    op.addr = addr;
+    if (is_pm) {
+        // Same unique-token convention as TraceRecorder::nextToken,
+        // but the sequence is per thread so streams stay independent.
+        op.value = (static_cast<std::uint64_t>(t + 1) << 44) |
+                   ts.tokenSeq++;
+    }
+    ts.buf.push_back(op);
+}
+
+void
+ServeStream::pushOFence(ThreadState &ts)
+{
+    TraceOp op;
+    op.type = OpType::OFence;
+    ts.buf.push_back(op);
+}
+
+void
+ServeStream::pushDFence(ThreadState &ts)
+{
+    TraceOp op;
+    op.type = OpType::DFence;
+    ts.buf.push_back(op);
+}
+
+TraceSet
+materializeStream(OpSource &src, std::uint64_t op_cap)
+{
+    TraceSet out(src.numThreads());
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < src.numThreads(); ++t) {
+        for (;;) {
+            const TraceOp op = src.next(t);
+            fatal_if(op_cap != 0 && ++total > op_cap,
+                     "materializing this stream exceeds the ", op_cap,
+                     "-op cap; run it streaming (serve_bench / "
+                     "loadStream) or raise ASAP_MAX_TRACE_OPS");
+            out.threads[t].push_back(op);
+            if (op.type == OpType::End)
+                break;
+        }
+    }
+    return out;
+}
+
+} // namespace asap

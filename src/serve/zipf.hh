@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Zipfian key sampler for serving scenarios.
+ *
+ * YCSB-style generator (Gray et al.'s rejection-free formula): ranks
+ * are drawn with probability P(rank k) ~ 1/k^theta, then scrambled
+ * through the workload hash so that the popular keys are spread across
+ * the keyspace instead of clustering at the low addresses. theta=0.99
+ * is the YCSB default ("zipfian"); theta->0 degenerates to uniform.
+ *
+ * The zeta(n, theta) normalization constant is an O(n) sum, so it is
+ * memoised process-wide per (items, theta): every thread of every
+ * serving job over the same keyspace shares one computation.
+ */
+
+#ifndef ASAP_SERVE_ZIPF_HH
+#define ASAP_SERVE_ZIPF_HH
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+#include "workloads/kv_util.hh"
+
+namespace asap
+{
+
+/** Draws Zipf-distributed ranks in [0, items) from a caller's Rng. */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t items, double theta)
+        : n_(items), theta_(theta)
+    {
+        fatal_if(items == 0, "zipf sampler over an empty keyspace");
+        fatal_if(theta <= 0.0 || theta >= 1.0,
+                 "zipf theta must be in (0, 1), got ", theta);
+        zetan_ = zeta(n_, theta_);
+        const double zeta2 = zeta(2, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                               1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+    }
+
+    /** Next rank in [0, items): rank 0 is the most popular. */
+    std::uint64_t
+    nextRank(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        const auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+    /** Next key index: the rank scrambled across the keyspace. */
+    std::uint64_t
+    nextKeyIndex(Rng &rng) const
+    {
+        return hash64(nextRank(rng)) % n_;
+    }
+
+    std::uint64_t items() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    /** Memoised zeta(n, theta) = sum_{i=1..n} 1/i^theta. */
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        static std::mutex mu;
+        static std::map<std::pair<std::uint64_t, double>, double> cache;
+        const auto key = std::make_pair(n, theta);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            auto it = cache.find(key);
+            if (it != cache.end())
+                return it->second;
+        }
+        double sum = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            sum += 1.0 / std::pow(static_cast<double>(i), theta);
+        std::lock_guard<std::mutex> lock(mu);
+        cache.emplace(key, sum);
+        return sum;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace asap
+
+#endif // ASAP_SERVE_ZIPF_HH

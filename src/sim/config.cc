@@ -64,6 +64,7 @@ SimConfig::override(const std::string &assignment)
     };
 
     if (key == "media" || key == "mediaProfile") mediaProfile = val;
+    else if (key == "mediaPerMc") mediaPerMc = val;
     else if (key == "mediaReadLatency") mediaReadLatency = as_u64();
     else if (key == "mediaWriteLatency") mediaWriteLatency = as_u64();
     else if (key == "mediaBanks") mediaBanks = as_u64();

@@ -85,6 +85,14 @@ struct SimConfig
     Tick mediaWriteLatency = 0;   //!< override media write service
     unsigned mediaBanks = 0;      //!< override per-MC bank count
     double mediaWriteGBps = -1.0; //!< override write cap (0 = uncap)
+    /**
+     * Heterogeneous media: comma-separated profile names assigned to
+     * MCs round-robin (MC i gets list[i % len]). Empty (default) means
+     * every MC uses mediaProfile. E.g. "optane-dcpmm,cxl-flash" on a
+     * 4-MC system puts DCPMM behind MCs 0/2 and CXL flash behind 1/3.
+     * The media* override knobs above apply to every entry.
+     */
+    std::string mediaPerMc;
 
     // --- NVM / memory controller ----------------------------------------
     Tick dramLatency = nsToTicks(80);     //!< volatile DRAM fill latency

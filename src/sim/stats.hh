@@ -60,6 +60,63 @@ class Distribution
 };
 
 /**
+ * A log-bucketed histogram for wide-range latency samples.
+ *
+ * The linear Distribution above is exact but needs one bucket per
+ * value — fine for buffer occupancies bounded by capacity, useless
+ * for persist latencies spanning five orders of magnitude. This
+ * variant buckets by magnitude: 16 linear sub-buckets per power of
+ * two, so any sample lands in a bucket whose width is at most 1/16 of
+ * its value (<= 6.25% relative error on percentile queries) while the
+ * whole 64-bit range fits in ~1 k buckets. percentile() returns the
+ * lower bound of the answering bucket, so reported tails never
+ * overstate the truth.
+ */
+class LogHistogram
+{
+  public:
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Arithmetic mean of the samples (0 if empty). */
+    double mean() const;
+
+    /** Largest sample seen, exactly (0 if empty). */
+    std::uint64_t max() const { return maxSeen; }
+
+    /**
+     * Value at percentile @p pct (e.g.\ 99.9): the lower bound of the
+     * smallest bucket b such that pct% of samples fall in buckets
+     * <= b. Within 6.25% (one sub-bucket) of the exact answer.
+     */
+    std::uint64_t percentile(double pct) const;
+
+    /** Discard all samples. */
+    void reset();
+
+    /** Bucket index of @p value (exposed for tests). */
+    static unsigned bucketOf(std::uint64_t value);
+
+    /** Smallest value mapping to bucket @p idx (exposed for tests). */
+    static std::uint64_t bucketFloor(unsigned idx);
+
+  private:
+    /** 16 sub-buckets per binade: values < 16 map 1:1, and 60 full
+     *  binades cover the rest of the 64-bit range. */
+    static constexpr unsigned kSubBits = 4;
+    static constexpr unsigned kSub = 1u << kSubBits;
+    static constexpr unsigned kBuckets = kSub + (64 - kSubBits) * kSub;
+
+    std::vector<std::uint64_t> buckets; //!< lazily sized to kBuckets
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t maxSeen = 0;
+};
+
+/**
  * Flat registry of named statistics for one simulated system.
  *
  * Components increment counters by name; the harness walks the
@@ -115,6 +172,23 @@ class StatSet
     /** True if a distribution with this name exists. */
     bool hasDist(const std::string &name) const;
 
+    /**
+     * Access (creating) the log-bucketed histogram @p name. Like
+     * counter(), map nodes are stable: components fetch the reference
+     * once at construction and sample through it.
+     */
+    LogHistogram &logHist(const std::string &name);
+
+    /** True if a log histogram with this name exists. */
+    bool hasLogHist(const std::string &name) const;
+
+    /** Read-only view of all log histograms. */
+    const std::map<std::string, LogHistogram> &
+    allLogHists() const
+    {
+        return logHists;
+    }
+
     /** Read-only view of all counters. */
     const std::map<std::string, std::uint64_t> &
     allCounters() const
@@ -138,6 +212,7 @@ class StatSet
   private:
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, Distribution> dists;
+    std::map<std::string, LogHistogram> logHists;
 };
 
 } // namespace asap

@@ -1,6 +1,7 @@
 #include "svc/wire.hh"
 
 #include "media/media.hh"
+#include "serve/scenario.hh"
 #include "workloads/registry.hh"
 
 namespace asap
@@ -91,6 +92,8 @@ jobToJson(const ExperimentJob &job)
     cfg.set("llcSets", Json::number(std::uint64_t(c.llcSets)));
     cfg.set("llcWays", Json::number(std::uint64_t(c.llcWays)));
     cfg.set("mediaProfile", Json::str(c.mediaProfile));
+    if (!c.mediaPerMc.empty())
+        cfg.set("mediaPerMc", Json::str(c.mediaPerMc));
     cfg.set("mediaReadLatency", Json::number(c.mediaReadLatency));
     cfg.set("mediaWriteLatency", Json::number(c.mediaWriteLatency));
     cfg.set("mediaBanks", Json::number(std::uint64_t(c.mediaBanks)));
@@ -176,15 +179,24 @@ jobFromJson(const Json &v, ExperimentJob &out, std::string *why)
     job.workload = v.get("workload").asString();
     if (job.workload.empty())
         return reject(why, "job has no workload");
-    bool known = false;
-    for (const WorkloadInfo &w : allWorkloads()) {
-        if (w.name == job.workload) {
-            known = true;
-            break;
+    if (isServeWorkload(job.workload)) {
+        if (!tryFindServeScenario(job.workload)) {
+            return reject(why, "unknown serving scenario '" +
+                                   job.workload + "'");
+        }
+    } else {
+        bool known = false;
+        for (const WorkloadInfo &w : allWorkloads()) {
+            if (w.name == job.workload) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            return reject(why,
+                          "unknown workload '" + job.workload + "'");
         }
     }
-    if (!known)
-        return reject(why, "unknown workload '" + job.workload + "'");
 
     if (v.has("kind") &&
         !tryParseJobKind(v.get("kind").asString(), job.kind)) {
@@ -230,6 +242,23 @@ jobFromJson(const Json &v, ExperimentJob &out, std::string *why)
         if (!isMediaProfile(c.mediaProfile)) {
             return reject(why, "unknown media profile '" +
                                    c.mediaProfile + "'");
+        }
+        if (cfg.has("mediaPerMc"))
+            c.mediaPerMc = cfg.get("mediaPerMc").asString();
+        // Validate every comma-separated per-MC profile up front so a
+        // bad list is a wire error, not a worker fatal() mid-job.
+        for (std::size_t pos = 0;
+             !c.mediaPerMc.empty() && pos <= c.mediaPerMc.size();) {
+            std::size_t comma = c.mediaPerMc.find(',', pos);
+            if (comma == std::string::npos)
+                comma = c.mediaPerMc.size();
+            const std::string name =
+                c.mediaPerMc.substr(pos, comma - pos);
+            if (name.empty() || !isMediaProfile(name)) {
+                return reject(why, "unknown per-MC media profile '" +
+                                       name + "'");
+            }
+            pos = comma + 1;
         }
         readU64(cfg, "mediaReadLatency", c.mediaReadLatency);
         readU64(cfg, "mediaWriteLatency", c.mediaWriteLatency);
