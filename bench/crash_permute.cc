@@ -1,30 +1,39 @@
 /**
  * @file
- * Crash-injection campaign driver: the executable counterpart of the
- * Section VI proofs, at scale. Sweeps power-failure points (crash
- * tick x workload x model x core count) through the exp engine and
- * checks every post-crash NVM state against the recovery checker's
- * consistency predicate (dependency-closed committed-epoch frontier).
+ * Exhaustive crash-state permuter driver. Where bench/crash_campaign
+ * checks the single canonical post-crash NVM state per power-failure
+ * point, this bench enumerates *every* reachable post-crash state at
+ * each point (src/permute/): each subset of the in-flight commit
+ * application and recovery-record effects that the crash could have
+ * frozen, checked independently against the recovery checker's
+ * consistency predicate.
  *
- * Campaign mode (default): one verdict-table row per configuration,
- * a summary line, and a non-zero exit if any crash point was
- * inconsistent — each failure prints a single `--repro` command line
- * that replays it exactly.
+ * Campaign mode (default): one verdict-table row per configuration
+ * with coverage columns (states checked / states reachable), a
+ * summary line, and a non-zero exit if any enumerated state at any
+ * crash point was inconsistent — each failure prints one `--repro`
+ * command, pinned with `--state <hexmask>`, that replays exactly that
+ * state.
  *
- * Repro mode (`--repro`): re-run one crash point and print the full
- * verdict (frontier, undo replays, violation message if any).
+ * Repro mode (`--repro`): re-run one crash point (optionally one
+ * state via --state) and print the full verdict with coverage.
+ *
+ * Enumeration is exhaustive below --bound reachable states and
+ * seeded-sampled above it (corners always included); truncation is
+ * reported loudly in the table and the artifact, never silently.
  */
 
 #include "bench/bench_util.hh"
 
 #include "exp/crash_campaign.hh"
+#include "permute/permute.hh"
 
 using namespace asap;
 
 namespace
 {
 
-struct CampaignArgs
+struct PermuteArgs
 {
     unsigned ops = 200;
     std::uint64_t seed = 1;
@@ -33,7 +42,7 @@ struct CampaignArgs
     unsigned jobs = 0;
     std::string jsonPath;
 
-    unsigned ticks = 40;  //!< crash points per configuration
+    unsigned ticks = 12;  //!< crash points per configuration
     std::string strategy = "stride";
     std::uint64_t tickSeed = 1;
     unsigned cores = 4;
@@ -41,13 +50,18 @@ struct CampaignArgs
     unsigned parDomains = 1;        //!< intra-run kernel parallelism
     std::uint64_t parSpecWindow = 0; //!< speculative window (ticks)
 
+    std::uint64_t bound = 4096;   //!< max states checked per point
+    std::uint64_t sampleSeed = 1; //!< sampling seed above the bound
+    std::string fault;            //!< test-only recovery fault hook
+    std::string state;            //!< hex mask: check one state only
+
     bool repro = false;   //!< single-crash-point replay mode
     std::string model = "asap";
     std::string pm = "rp";
     std::uint64_t crashTick = 0;
 
     bool progress = false; //!< stderr progress/ETA lines
-    bool sharded = false;  //!< --shard: distributed campaign mode
+    bool sharded = false;  //!< --shard: distributed permute mode
     ShardSpec shard;
     bool claim = false;
     double leaseTtl = 60.0;
@@ -65,21 +79,24 @@ usage(const char *argv0)
         "[--list-strategies]\n"
         "          [--tick-seed S] [--cores N] [--models "
         "m1_pm1,m2_pm2,...]\n"
+        "          [--bound N] [--sample-seed S] [--inject-fault F]\n"
         "          [--progress] [--daemon SOCKET] "
         "[--par-domains N] [--par-spec-window T]\n"
         "          [--shard i/n [--claim] [--salt S] "
         "[--lease-ttl SEC]]\n"
         "       %s --repro --workload W [--media P] --model M --pm P "
         "--cores N\n"
-        "          --ops N --seed S --crash-tick T\n",
+        "          --ops N --seed S --crash-tick T [--bound N] "
+        "[--sample-seed S]\n"
+        "          [--inject-fault F] [--state HEXMASK]\n",
         argv0, argv0);
     std::exit(2);
 }
 
-CampaignArgs
+PermuteArgs
 parseArgs(int argc, char **argv)
 {
-    CampaignArgs a;
+    PermuteArgs a;
     auto need = [&](int i) {
         if (i + 1 >= argc)
             usage(argv[0]);
@@ -127,6 +144,37 @@ parseArgs(int argc, char **argv)
             a.cores = unsigned(std::strtoul(need(i), nullptr, 0)), ++i;
         else if (!std::strcmp(arg, "--models"))
             a.models = need(i), ++i;
+        else if (!std::strcmp(arg, "--bound")) {
+            a.bound = std::strtoull(need(i), nullptr, 0), ++i;
+            if (a.bound == 0) {
+                std::fprintf(stderr,
+                             "error: --bound must be >= 1\n");
+                std::exit(2);
+            }
+        }
+        else if (!std::strcmp(arg, "--sample-seed"))
+            a.sampleSeed = std::strtoull(need(i), nullptr, 0), ++i;
+        else if (!std::strcmp(arg, "--inject-fault")) {
+            a.fault = need(i), ++i;
+            permute::FaultMode fm;
+            if (!permute::parsePermuteFault(a.fault, fm)) {
+                std::fprintf(stderr,
+                             "error: unknown fault mode '%s'; valid "
+                             "modes: %s\n", a.fault.c_str(),
+                             permute::permuteFaultNames());
+                std::exit(2);
+            }
+        }
+        else if (!std::strcmp(arg, "--state")) {
+            a.state = need(i), ++i;
+            std::uint64_t mask;
+            if (!permute::maskFromHex(a.state, mask)) {
+                std::fprintf(stderr,
+                             "error: --state wants a hex atom mask "
+                             "(e.g. 1f), got '%s'\n", a.state.c_str());
+                std::exit(2);
+            }
+        }
         else if (!std::strcmp(arg, "--par-domains"))
             a.parDomains =
                 unsigned(std::strtoul(need(i), nullptr, 0)), ++i;
@@ -187,7 +235,7 @@ parseModels(const std::string &list)
 }
 
 WorkloadParams
-paramsFor(const CampaignArgs &a)
+paramsFor(const PermuteArgs &a)
 {
     WorkloadParams p;
     p.opsPerThread = a.ops;
@@ -207,18 +255,29 @@ printVerdict(const CrashVerdict &v)
     for (std::uint64_t c : v.committedUpTo)
         std::printf(" e%llu", (unsigned long long)c);
     std::printf("\n");
+    std::printf("  states checked %llu of %llu reachable (%llu "
+                "distinct images, %llu atoms)%s\n",
+                (unsigned long long)v.statesChecked,
+                (unsigned long long)v.statesReachable,
+                (unsigned long long)v.distinctStates,
+                (unsigned long long)v.permuteAtoms,
+                v.truncated ? " [TRUNCATED]" : "");
     std::printf("  stores logged %llu, lines survived %llu, undo "
                 "replayed %llu, ADR drained %llu\n",
                 (unsigned long long)v.storesLogged,
                 (unsigned long long)v.linesSurvived,
                 (unsigned long long)v.undoReplayed,
                 (unsigned long long)v.adrDrainWrites);
+    if (v.inconsistentStates != 0)
+        std::printf("  inconsistent states %llu (first bad mask %s)\n",
+                    (unsigned long long)v.inconsistentStates,
+                    v.firstBadState.c_str());
     if (!v.message.empty())
         std::printf("  violation: %s\n", v.message.c_str());
 }
 
 int
-runRepro(const CampaignArgs &a)
+runRepro(const PermuteArgs &a)
 {
     SimConfig cfg;
     cfg.mediaProfile = a.media;
@@ -230,23 +289,27 @@ runRepro(const CampaignArgs &a)
     cfg.parSpecWindow = a.parSpecWindow;
 
     JobSet set;
-    set.addCrash(a.workload, cfg, paramsFor(a), a.crashTick);
+    set.addPermute(a.workload, cfg, paramsFor(a), a.crashTick,
+                   a.bound, a.sampleSeed, a.fault, a.state);
     RunOptions opt;
     opt.jobs = a.jobs;
     const SweepResult sr = runJobs(set.jobs(), opt);
 
-    std::printf("=== repro: %s%s%s %s/%s %u cores, crash @ %llu ===\n",
+    std::printf("=== repro: %s%s%s %s/%s %u cores, crash @ %llu",
                 a.workload.c_str(),
                 a.media == kDefaultMediaProfile ? "" : " on ",
                 a.media == kDefaultMediaProfile ? "" : a.media.c_str(),
                 a.model.c_str(), a.pm.c_str(), a.cores,
                 (unsigned long long)a.crashTick);
+    if (!a.state.empty())
+        std::printf(", state %s", a.state.c_str());
+    std::printf(" ===\n");
     printVerdict(sr.verdicts[0]);
     return sr.verdicts[0].consistent ? 0 : 1;
 }
 
 int
-runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
+runPermuteCampaign(const PermuteArgs &a, const BenchArgs &emitArgs)
 {
     CampaignSpec spec;
     if (a.workload.empty()) {
@@ -264,15 +327,18 @@ runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
     spec.strategy = parseTickStrategy(a.strategy);
     spec.ticksPerConfig = a.ticks;
     spec.tickSeed = a.tickSeed;
+    spec.sweepKind = JobKind::Permute;
+    spec.permuteBound = a.bound;
+    spec.permuteSeed = a.sampleSeed;
+    spec.permuteFault = a.fault;
 
     if (emitArgs.sharded) {
-        // Distributed campaign: every shard needs every probe result
-        // to derive the identical crash job list, so the probe phase
-        // blocks until all probes are in the shared cache (simulated
-        // at most once cluster-wide via the lease protocol). Only the
-        // crash sweep itself is then sharded. A memoized probe
-        // summary (any earlier campaign over these configs) skips
-        // the phase outright.
+        // Same protocol as the crash campaign: probes block until the
+        // whole configuration set is summarized (shared-cache leases
+        // keep that cluster-wide work deduplicated), then only the
+        // permute sweep itself is sharded. The probe memo is shared
+        // with crash campaigns over the same configs — probe jobs are
+        // plain Run jobs either way.
         bool fromMemo = false;
         const std::vector<ProbeStat> stats = ensureProbeStats(
             spec, emitArgs.options(),
@@ -305,30 +371,56 @@ runCampaignMode(const CampaignArgs &a, const BenchArgs &emitArgs)
                      "probe phase: served from memoized summary\n");
     }
 
-    std::printf("=== Crash-injection campaign: %zu crash points, "
-                "strategy %s ===\n",
-                cr.crashPoints(), toString(spec.strategy).c_str());
-    std::printf("%-12s %-10s %5s %9s %7s %7s %5s\n", "workload",
-                "model", "cores", "runTicks", "epochs", "points",
-                "bad");
+    std::printf("=== Crash-state permutation campaign: %zu crash "
+                "points, strategy %s, bound %llu%s%s ===\n",
+                cr.crashPoints(), toString(spec.strategy).c_str(),
+                (unsigned long long)a.bound,
+                a.fault.empty() ? "" : ", fault ",
+                a.fault.c_str());
+    std::printf("%-12s %-10s %5s %7s %10s %10s %6s %5s %5s\n",
+                "workload", "model", "cores", "points", "checked",
+                "reachable", "cov%", "trunc", "bad");
+    std::size_t next = 0;
+    bool anyTruncated = false;
     for (const CampaignRow &row : cr.rows) {
-        std::printf("%-12s %-10s %5u %9llu %7llu %7zu %5zu\n",
+        std::uint64_t checked = 0, reachable = 0;
+        std::size_t truncated = 0, bad = 0;
+        for (std::size_t i = 0; i < row.points; ++i, ++next) {
+            const CrashVerdict &v = cr.sweep.verdicts[next];
+            checked += v.statesChecked;
+            reachable += v.statesReachable;
+            if (v.truncated)
+                ++truncated;
+            if (!v.consistent)
+                ++bad;
+        }
+        anyTruncated = anyTruncated || truncated != 0;
+        const double cov =
+            reachable ? 100.0 * double(checked) / double(reachable)
+                      : 100.0;
+        std::printf("%-12s %-10s %5u %7zu %10llu %10llu %6.1f %5zu "
+                    "%5zu\n",
                     row.workload.c_str(),
                     (toString(row.model) + "_" + toString(row.pm))
                         .c_str(),
-                    row.cores, (unsigned long long)row.probeTicks,
-                    (unsigned long long)row.probeEpochs, row.points,
-                    row.points - row.consistent);
+                    row.cores, row.points,
+                    (unsigned long long)checked,
+                    (unsigned long long)reachable, cov, truncated,
+                    bad);
     }
-    std::printf("campaign: %zu crash points, %zu consistent, %zu "
-                "inconsistent\n",
+    std::printf("permute campaign: %zu crash points, %zu consistent, "
+                "%zu inconsistent%s\n",
                 cr.crashPoints(), cr.crashPoints() - cr.badJobs.size(),
-                cr.badJobs.size());
+                cr.badJobs.size(),
+                anyTruncated ? " (coverage TRUNCATED at some points; "
+                               "raise --bound for exhaustive sweeps)"
+                             : "");
     for (std::size_t i : cr.badJobs) {
-        std::printf("INCONSISTENT: %s\n",
-                    cr.sweep.verdicts[i].message.c_str());
+        const CrashVerdict &v = cr.sweep.verdicts[i];
+        std::printf("INCONSISTENT: %s\n", v.message.c_str());
         std::printf("  repro: %s\n",
-                    reproCommand(cr.sweep.jobs[i]).c_str());
+                    reproCommand(cr.sweep.jobs[i],
+                                 v.firstBadState).c_str());
     }
     finishSweep(emitArgs, cr.sweep);
     return cr.allConsistent() ? 0 : 1;
@@ -340,7 +432,7 @@ int
 main(int argc, char **argv)
 {
     setLogQuiet(true);
-    const CampaignArgs a = parseArgs(argc, argv);
+    const PermuteArgs a = parseArgs(argc, argv);
     if (a.repro) {
         if (a.workload.empty()) {
             std::fprintf(stderr,
@@ -348,6 +440,11 @@ main(int argc, char **argv)
             return 2;
         }
         return runRepro(a);
+    }
+    if (!a.state.empty()) {
+        std::fprintf(stderr,
+                     "error: --state only makes sense with --repro\n");
+        return 2;
     }
     // Reuse the shared bench epilogue (artifact + accounting line).
     BenchArgs emitArgs;
@@ -362,5 +459,5 @@ main(int argc, char **argv)
     emitArgs.claim = a.claim;
     emitArgs.leaseTtl = a.leaseTtl;
     emitArgs.daemonSocket = a.daemonSocket;
-    return runCampaignMode(a, emitArgs);
+    return runPermuteCampaign(a, emitArgs);
 }

@@ -44,6 +44,39 @@ grep -q '"uniqueRuns"' "$TMP/fig08.json"
 grep -q ' 0 inconsistent' "$TMP/campaign.txt"
 grep -q '"kind": "crash"' "$TMP/campaign.json"
 
+# Crash-state permuter smoke: every reachable post-crash state at each
+# injection point, exhaustively (the bound is generous for 30-op
+# runs), must pass the checker — the table asserts 100% coverage and
+# 0 inconsistent, and the artifact carries the coverage columns.
+# Small ops keep this sanitizer-compatible (ASAP_SANITIZE=address
+# runs the full enumeration under ASan like any other bench).
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --json "$TMP/permute.json" \
+    | tee "$TMP/permute.txt"
+grep -q ' 0 inconsistent' "$TMP/permute.txt"
+grep -qE '  100\.0 ' "$TMP/permute.txt"
+! grep -q 'TRUNCATED' "$TMP/permute.txt"
+grep -q '"kind": "permute"' "$TMP/permute.json"
+grep -q '"statesChecked"' "$TMP/permute.json"
+
+# Sharded permute + merge audit: the permute sweep split over two
+# shards on a shared cache must simulate every job exactly once
+# (zero duplicates) and merge back to the single-host CSV artifact
+# byte-for-byte, coverage columns included.
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --json "$TMP/permute_single.csv" > /dev/null
+export ASAP_CACHE_DIR="$TMP/permute-cache"
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --shard 0/2 --claim > "$TMP/permute0.txt"
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --shard 1/2 --claim > "$TMP/permute1.txt"
+"$BUILD/bench/sweep_merge" --cache-dir "$ASAP_CACHE_DIR" \
+    --out "$TMP/permute_merged.csv" 2> "$TMP/permute_merge.txt"
+unset ASAP_CACHE_DIR
+diff "$TMP/permute_single.csv" "$TMP/permute_merged.csv"
+grep -q 'duplicate simulations: 0' "$TMP/permute_merge.txt"
+grep -q ',statesChecked,statesReachable,' "$TMP/permute_merged.csv"
+
 # Distributed-sweep smoke check: two shards over a shared cache
 # directory (same host — the claim protocol only needs the shared
 # filesystem), merged back and compared byte-for-byte against the
@@ -205,4 +238,4 @@ grep -q 'daemon:' "$TMP/serve_top.txt"
 "$BUILD/bench/asapctl" --socket "$TMP/serve.sock" shutdown > /dev/null
 wait "$SERVED_PID"
 
-echo "check.sh: build, tests, parallel sweep, crash campaign, sharded merge, media sweep, trace replay, kernel bench, sweep service and serving scenarios all passed"
+echo "check.sh: build, tests, parallel sweep, crash campaign, crash-state permuter, sharded merge, media sweep, trace replay, kernel bench, sweep service and serving scenarios all passed"

@@ -30,11 +30,18 @@ mkdir -p "$RESULTS"
 for bench in fig02_epochs fig03_pb_stalls fig08_performance \
              fig09_writes fig10_scaling fig11_pb_occupancy \
              fig12_rt_occupancy fig13_bandwidth tab05_hwcost \
-             ablation_sensitivity crash_campaign media_sweep; do
+             ablation_sensitivity crash_campaign crash_permute \
+             media_sweep; do
     echo "=== $bench ==="
     EXTRA=()
     if [ "$bench" = crash_campaign ] && [ "$QUICK" = 1 ]; then
         EXTRA+=(--ticks 8)
+    fi
+    if [ "$bench" = crash_permute ]; then
+        # Every reachable post-crash state per injection point; the
+        # default 12 ticks/config already covers all models, so the
+        # quick pass just trims the tick count further.
+        if [ "$QUICK" = 1 ]; then EXTRA+=(--ticks 4); fi
     fi
     if [ "$bench" = media_sweep ] && [ "$QUICK" = 1 ]; then
         # One workload across every registered profile keeps the

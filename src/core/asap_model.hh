@@ -54,6 +54,16 @@ class AsapModel : public PersistModel
     }
     void crash() override;
 
+    std::vector<std::uint64_t>
+    commitInFlightEpochs() const override
+    {
+        std::vector<std::uint64_t> out;
+        for (const EpochTable::Entry &e : et.inFlightEntries())
+            if (e.commitInProgress)
+                out.push_back(e.ts);
+        return out;
+    }
+
     /** Test support. */
     EpochTable &epochTable() { return et; }
     PersistBuffer &persistBuffer() { return pb; }

@@ -1,5 +1,7 @@
 #include "core/recovery_table.hh"
 
+#include <algorithm>
+
 #include "sim/event_queue.hh"
 #include "sim/log.hh"
 
@@ -215,6 +217,24 @@ RecoveryTable::onCrash(const WriteOutFn &write_out)
         write_out(line, rec.value);
     undos.clear();
     delays.clear();
+}
+
+void
+RecoveryTable::exportRecords(std::vector<UndoRecordView> &undos_out,
+                             std::vector<DelayRecordView> &delays_out) const
+{
+    undos_out.reserve(undos_out.size() + undos.size());
+    for (const auto &[line, rec] : undos)
+        undos_out.push_back({line, rec.value, rec.thread, rec.epoch});
+    // The map iterates in hash order; sort by line so exports are
+    // deterministic across runs and hosts.
+    std::sort(undos_out.begin(), undos_out.end(),
+              [](const UndoRecordView &a, const UndoRecordView &b) {
+                  return a.line < b.line;
+              });
+    delays_out.reserve(delays_out.size() + delays.size());
+    for (const DelayRecord &d : delays)
+        delays_out.push_back({d.line, d.value, d.thread, d.epoch});
 }
 
 void

@@ -69,6 +69,10 @@ class RecoveryTable : public RecoveryPolicy
 
     std::size_t occupancy() const override;
 
+    void exportRecords(std::vector<UndoRecordView> &undos_out,
+                       std::vector<DelayRecordView> &delays_out)
+        const override;
+
     void specSave() override;
     void specRestore() override;
 

@@ -21,7 +21,10 @@ namespace
 /** Bump when the manifest wire format changes incompatibly.
  *  v2: job lines carry the media profile (between workload and
  *  model), so merged media sweeps reproduce their media columns. */
-constexpr int kManifestVersion = 2;
+// v3 added the four permute columns to every job line (older readers
+// reject v3 manifests cleanly; manifests are transient per-sweep
+// artifacts, so there is no legacy-data concern).
+constexpr int kManifestVersion = 3;
 
 } // namespace
 
@@ -79,7 +82,11 @@ serializeManifest(const ShardManifest &m)
            << ' ' << j.workload << ' ' << j.media << ' '
            << toString(j.model) << ' ' << toString(j.pm) << ' '
            << j.cores << ' ' << j.seed << ' ' << j.ops << ' '
-           << j.crashTick << ' ' << toString(j.status) << '\n';
+           << j.crashTick << ' ' << j.permuteBound << ' '
+           << j.permuteSeed << ' '
+           << (j.permuteFault.empty() ? "-" : j.permuteFault) << ' '
+           << (j.permuteState.empty() ? "-" : j.permuteState) << ' '
+           << toString(j.status) << '\n';
     }
     os << "end 1\n";
     return os.str();
@@ -133,13 +140,19 @@ deserializeManifest(const std::string &text, ShardManifest &out,
             ManifestJob j;
             is >> idx >> j.key >> kind >> j.workload >> j.media >>
                 model >> pm >> j.cores >> j.seed >> j.ops >>
-                j.crashTick >> status;
+                j.crashTick >> j.permuteBound >> j.permuteSeed >>
+                j.permuteFault >> j.permuteState >> status;
             if (!is)
                 return reject("malformed job line");
             if (idx != m.jobs.size())
                 return reject("job lines out of order");
+            if (j.permuteFault == "-")
+                j.permuteFault.clear();
+            if (j.permuteState == "-")
+                j.permuteState.clear();
             if (kind == "run") j.kind = JobKind::Run;
             else if (kind == "crash") j.kind = JobKind::Crash;
+            else if (kind == "permute") j.kind = JobKind::Permute;
             else return reject("unknown job kind '" + kind + "'");
             j.model = parseModelKind(model);
             j.pm = parsePersistencyModel(pm);
@@ -247,6 +260,10 @@ toExperimentJob(const ManifestJob &mj)
     job.params.seed = mj.seed;
     job.kind = mj.kind;
     job.crashTick = mj.crashTick;
+    job.permuteBound = mj.permuteBound;
+    job.permuteSeed = mj.permuteSeed;
+    job.permuteFault = mj.permuteFault;
+    job.permuteState = mj.permuteState;
     return job;
 }
 
@@ -264,6 +281,10 @@ toManifestJob(const ExperimentJob &job, const std::string &key)
     mj.seed = job.params.seed;
     mj.ops = job.params.opsPerThread;
     mj.crashTick = job.crashTick;
+    mj.permuteBound = job.permuteBound;
+    mj.permuteSeed = job.permuteSeed;
+    mj.permuteFault = job.permuteFault;
+    mj.permuteState = job.permuteState;
     return mj;
 }
 

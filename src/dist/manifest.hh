@@ -55,7 +55,11 @@ struct ManifestJob
     unsigned cores = 0;
     std::uint64_t seed = 0; //!< params/config seed
     unsigned ops = 0;       //!< params.opsPerThread
-    Tick crashTick = 0;     //!< Crash jobs only
+    Tick crashTick = 0;     //!< Crash/Permute jobs only
+    std::uint64_t permuteBound = 4096; //!< Permute jobs only
+    std::uint64_t permuteSeed = 1;     //!< Permute jobs only
+    std::string permuteFault;          //!< Permute jobs only
+    std::string permuteState;          //!< Permute jobs only
     ShardJobStatus status = ShardJobStatus::Other;
 };
 

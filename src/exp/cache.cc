@@ -42,8 +42,14 @@ namespace
  *  v5: the serving subsystem (src/serve/) — results gained the
  *  persist-latency tail fields (persistSamples/P50/P99/P999/Max) and
  *  serveRequests; the key conditionally gained mediaPerMc. Entries
- *  written by v4 would deserialize with them silently zero. */
-constexpr const char *kCodeSalt = "asap-sim-v5";
+ *  written by v4 would deserialize with them silently zero.
+ *
+ *  v6: the crash-state permuter (src/permute/) — JobKind::Permute
+ *  jobs key the enumeration knobs (bound/seed/fault/state) and
+ *  results gained the coverage fields (vStatesChecked &c.). Run and
+ *  Crash keys are unchanged, but the bump keeps a v5 reader from
+ *  choking on permute entries in a shared cache dir. */
+constexpr const char *kCodeSalt = "asap-sim-v6";
 
 /** Age beyond which an abandoned temp file is certainly garbage (no
  *  writer holds an insert open for minutes). */
@@ -125,6 +131,19 @@ describeJob(const ExperimentJob &job)
     if (job.kind == JobKind::Crash) {
         os << "kind=" << toString(job.kind) << '\n'
            << "crashTick=" << job.crashTick << '\n';
+    }
+    // Permute jobs additionally key the enumeration knobs: a tighter
+    // bound, another sampling seed, a fault hook or a single-state
+    // repro all produce different verdicts and must not alias.
+    if (job.kind == JobKind::Permute) {
+        os << "kind=" << toString(job.kind) << '\n'
+           << "crashTick=" << job.crashTick << '\n'
+           << "permuteBound=" << job.permuteBound << '\n'
+           << "permuteSeed=" << job.permuteSeed << '\n'
+           << "permuteFault="
+           << (job.permuteFault.empty() ? "-" : job.permuteFault) << '\n'
+           << "permuteState="
+           << (job.permuteState.empty() ? "-" : job.permuteState) << '\n';
     }
     return os.str();
 }
@@ -227,6 +246,18 @@ serializeEntry(const CachedResult &e)
     for (std::uint64_t c : v.committedUpTo)
         os << ' ' << c;
     os << '\n';
+    // Permuter coverage; all-zero for plain Crash entries, so they
+    // are only written for Permute jobs (readers default them to 0).
+    if (e.kind == JobKind::Permute) {
+        os << "vStatesChecked " << v.statesChecked << '\n'
+           << "vStatesReachable " << v.statesReachable << '\n'
+           << "vDistinctStates " << v.distinctStates << '\n'
+           << "vPermuteAtoms " << v.permuteAtoms << '\n'
+           << "vTruncated " << (v.truncated ? 1 : 0) << '\n'
+           << "vInconsistentStates " << v.inconsistentStates << '\n';
+        if (!v.firstBadState.empty())
+            os << "vFirstBadState " << v.firstBadState << '\n';
+    }
     // The violation message may contain spaces: rest-of-line field,
     // written last before the end marker.
     if (!v.message.empty())
@@ -266,6 +297,7 @@ deserializeEntry(const std::string &text, CachedResult &out,
             is >> k;
             if (k == "run") e.kind = JobKind::Run;
             else if (k == "crash") e.kind = JobKind::Crash;
+            else if (k == "permute") e.kind = JobKind::Permute;
             else return reject("unknown job kind '" + k + "'");
         }
         else if (field == "workload") is >> r.workload;
@@ -336,6 +368,18 @@ deserializeEntry(const std::string &text, CachedResult &out,
             for (std::size_t i = 0; i < n; ++i)
                 is >> v.committedUpTo[i];
         }
+        else if (field == "vStatesChecked") is >> v.statesChecked;
+        else if (field == "vStatesReachable") is >> v.statesReachable;
+        else if (field == "vDistinctStates") is >> v.distinctStates;
+        else if (field == "vPermuteAtoms") is >> v.permuteAtoms;
+        else if (field == "vTruncated") {
+            int b = 0;
+            is >> b;
+            v.truncated = b != 0;
+        }
+        else if (field == "vInconsistentStates")
+            is >> v.inconsistentStates;
+        else if (field == "vFirstBadState") is >> v.firstBadState;
         else if (field == "vMessage") {
             is >> std::ws;
             std::getline(is, v.message);

@@ -11,18 +11,47 @@
 namespace asap
 {
 
+const std::vector<TickStrategyInfo> &
+allTickStrategies()
+{
+    static const std::vector<TickStrategyInfo> table = {
+        {TickStrategy::Stride, "stride",
+         "evenly spaced crash points across the probed run"},
+        {TickStrategy::EpochBiased, "epoch",
+         "crash points jittered around estimated epoch boundaries"},
+        {TickStrategy::Random, "random",
+         "uniform random crash points (seeded, reproducible)"},
+    };
+    return table;
+}
+
+bool
+tryParseTickStrategy(const std::string &name, TickStrategy &out)
+{
+    for (const TickStrategyInfo &info : allTickStrategies()) {
+        if (name == info.name) {
+            out = info.strategy;
+            return true;
+        }
+    }
+    return false;
+}
+
 TickStrategy
 parseTickStrategy(const std::string &name)
 {
-    if (name == "stride")
-        return TickStrategy::Stride;
-    if (name == "epoch")
-        return TickStrategy::EpochBiased;
-    if (name == "random")
-        return TickStrategy::Random;
-    fatal("unknown tick strategy '", name,
-          "' (expected stride|epoch|random)");
-    return TickStrategy::Stride; // unreachable
+    TickStrategy out = TickStrategy::Stride;
+    if (tryParseTickStrategy(name, out))
+        return out;
+    std::string valid;
+    for (const TickStrategyInfo &info : allTickStrategies()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += info.name;
+    }
+    fatal("unknown tick strategy '", name, "'; valid strategies: ",
+          valid, " (see --list-strategies)");
+    return out; // unreachable
 }
 
 std::string
@@ -203,8 +232,15 @@ expandCampaign(const CampaignSpec &spec,
             spec.strategy, probe.runTicks, probe.epochs,
             conf.cfg.numCores, spec.ticksPerConfig,
             spec.tickSeed + 0x9e3779b97f4a7c15ULL * (c + 1));
-        for (Tick t : ticks)
-            crash.addCrash(conf.workload, conf.cfg, spec.params, t);
+        for (Tick t : ticks) {
+            if (spec.sweepKind == JobKind::Permute) {
+                crash.addPermute(conf.workload, conf.cfg, spec.params,
+                                 t, spec.permuteBound, spec.permuteSeed,
+                                 spec.permuteFault);
+            } else {
+                crash.addCrash(conf.workload, conf.cfg, spec.params, t);
+            }
+        }
 
         CampaignRow row;
         row.workload = conf.workload;
@@ -256,10 +292,13 @@ runCampaign(const CampaignSpec &spec, const RunOptions &opt,
 }
 
 std::string
-reproCommand(const ExperimentJob &job)
+reproCommand(const ExperimentJob &job, const std::string &state)
 {
+    const bool permute = job.kind == JobKind::Permute;
     std::ostringstream os;
-    os << "build/bench/crash_campaign --repro"
+    os << (permute ? "build/bench/crash_permute"
+                   : "build/bench/crash_campaign")
+       << " --repro"
        << " --workload " << job.workload;
     // Default-media repro lines stay byte-identical to pre-media ones.
     if (job.cfg.mediaProfile != kDefaultMediaProfile)
@@ -270,6 +309,16 @@ reproCommand(const ExperimentJob &job)
        << " --ops " << job.params.opsPerThread
        << " --seed " << job.params.seed
        << " --crash-tick " << job.crashTick;
+    if (permute) {
+        os << " --bound " << job.permuteBound
+           << " --sample-seed " << job.permuteSeed;
+        if (!job.permuteFault.empty())
+            os << " --inject-fault " << job.permuteFault;
+        if (!state.empty())
+            os << " --state " << state;
+        else if (!job.permuteState.empty())
+            os << " --state " << job.permuteState;
+    }
     return os.str();
 }
 

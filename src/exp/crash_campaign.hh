@@ -45,11 +45,26 @@ enum class TickStrategy
     Random,      //!< seeded uniform random
 };
 
-/** Parse "stride|epoch|random" (fatal on anything else). */
+/** Parse "stride|epoch|random"; returns false on an unknown name. */
+bool tryParseTickStrategy(const std::string &name, TickStrategy &out);
+
+/** Parse "stride|epoch|random" (fatal on anything else, listing the
+ *  valid strategies in the error). */
 TickStrategy parseTickStrategy(const std::string &name);
 
 /** Printable name for the enum above. */
 std::string toString(TickStrategy strategy);
+
+/** One tick strategy the parser accepts, for --list-strategies. */
+struct TickStrategyInfo
+{
+    TickStrategy strategy;
+    const char *name;
+    const char *description;
+};
+
+/** Every strategy, in parse order. */
+const std::vector<TickStrategyInfo> &allTickStrategies();
 
 /**
  * Pick @p count crash ticks in [1, total_ticks].
@@ -80,6 +95,15 @@ struct CampaignSpec
     TickStrategy strategy = TickStrategy::Stride;
     unsigned ticksPerConfig = 40; //!< crash points per configuration
     std::uint64_t tickSeed = 1;   //!< seed for tick selection
+
+    /** What each crash point runs: Crash checks the canonical
+     *  post-crash state; Permute enumerates every reachable one
+     *  (src/permute) with the knobs below. Probe jobs, tick
+     *  selection and the probe memo are identical either way. */
+    JobKind sweepKind = JobKind::Crash;
+    std::uint64_t permuteBound = 4096; //!< max states per crash point
+    std::uint64_t permuteSeed = 1;     //!< sampling seed above bound
+    std::string permuteFault;          //!< fault hook ("", "drop-undo")
 };
 
 /** Per-configuration verdict summary row. */
@@ -196,11 +220,14 @@ CampaignResult runCampaign(const CampaignSpec &spec,
                            const SweepRunner &runner = {});
 
 /**
- * One-line `bench/crash_campaign --repro ...` invocation that
- * replays exactly @p job (workload, model, seed, crash tick) and
- * reprints its verdict.
+ * One-line `bench/crash_campaign --repro ...` (or, for Permute jobs,
+ * `bench/crash_permute --repro ...`) invocation that replays exactly
+ * @p job (workload, model, seed, crash tick, permute knobs) and
+ * reprints its verdict. @p state narrows a permute repro to a single
+ * enumerated state (pass the verdict's firstBadState).
  */
-std::string reproCommand(const ExperimentJob &job);
+std::string reproCommand(const ExperimentJob &job,
+                         const std::string &state = "");
 
 } // namespace asap
 

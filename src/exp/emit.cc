@@ -192,11 +192,11 @@ emitJson(std::ostream &os, const SweepResult &sr)
                 emitValue(os, f, r);
             }
         }
-        // Crash jobs append the tagged verdict payload; pure-Run
-        // sweeps keep the PR 1 schema byte-for-byte.
-        if (j.kind == JobKind::Crash) {
+        // Crash/permute jobs append the tagged verdict payload;
+        // pure-Run sweeps keep the PR 1 schema byte-for-byte.
+        if (j.kind != JobKind::Run) {
             const CrashVerdict &v = sr.verdicts[i];
-            os << ", \"kind\": \"crash\""
+            os << ", \"kind\": \"" << toString(j.kind) << '"'
                << ", \"crashTick\": " << v.crashTick
                << ", \"actualTick\": " << v.actualTick
                << ", \"consistent\": "
@@ -210,6 +210,19 @@ emitJson(std::ostream &os, const SweepResult &sr)
                << ", \"linesSurvived\": " << v.linesSurvived
                << ", \"undoReplayed\": " << v.undoReplayed
                << ", \"adrDrainWrites\": " << v.adrDrainWrites;
+            // Coverage block: permute jobs only, so legacy crash
+            // campaigns keep their per-row schema.
+            if (j.kind == JobKind::Permute) {
+                os << ", \"statesChecked\": " << v.statesChecked
+                   << ", \"statesReachable\": " << v.statesReachable
+                   << ", \"distinctStates\": " << v.distinctStates
+                   << ", \"permuteAtoms\": " << v.permuteAtoms
+                   << ", \"truncated\": "
+                   << (v.truncated ? "true" : "false")
+                   << ", \"inconsistentStates\": "
+                   << v.inconsistentStates << ", \"firstBadState\": \""
+                   << jsonEscape(v.firstBadState) << '"';
+            }
         }
         os << '}' << (i + 1 < sr.jobs.size() ? "," : "") << '\n';
     }
@@ -223,6 +236,8 @@ emitCsv(std::ostream &os, const SweepResult &sr)
     // media columns only when a non-default profile is present, so
     // existing Run-only artifacts keep their column set.
     const bool crash = sr.hasCrashJobs();
+    const bool permute = sr.hasPermuteJobs();
+    const bool verdict = crash || permute;
     const bool media = sr.hasNonDefaultMedia();
     const bool serve = sr.hasServeJobs();
     os << "workload,model,persistency,cores";
@@ -239,10 +254,17 @@ emitCsv(std::ostream &os, const SweepResult &sr)
         for (const Field &f : kServeFields)
             os << ',' << f.name;
     }
-    if (crash)
+    if (verdict) {
         os << ",kind,crashTick,actualTick,consistent,committedMax,"
-              "storesLogged,linesSurvived,undoReplayed,adrDrainWrites,"
-              "message";
+              "storesLogged,linesSurvived,undoReplayed,adrDrainWrites";
+        // Coverage columns only when the sweep permutes states, so
+        // legacy crash-campaign CSVs keep their column set; crash
+        // rows in a mixed sweep carry zeros.
+        if (permute)
+            os << ",statesChecked,statesReachable,distinctStates,"
+                  "truncated";
+        os << ",message";
+    }
     os << '\n';
     for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
         const ExperimentJob &j = sr.jobs[i];
@@ -268,7 +290,7 @@ emitCsv(std::ostream &os, const SweepResult &sr)
                 emitValue(os, f, r);
             }
         }
-        if (crash) {
+        if (verdict) {
             const CrashVerdict &v = sr.verdicts[i];
             std::uint64_t committedMax = 0;
             for (std::uint64_t c : v.committedUpTo)
@@ -277,7 +299,12 @@ emitCsv(std::ostream &os, const SweepResult &sr)
                << v.actualTick << ',' << (v.consistent ? 1 : 0) << ','
                << committedMax << ',' << v.storesLogged << ','
                << v.linesSurvived << ',' << v.undoReplayed << ','
-               << v.adrDrainWrites << ',' << csvQuote(v.message);
+               << v.adrDrainWrites;
+            if (permute)
+                os << ',' << v.statesChecked << ',' << v.statesReachable
+                   << ',' << v.distinctStates << ','
+                   << (v.truncated ? 1 : 0);
+            os << ',' << csvQuote(v.message);
         }
         os << '\n';
     }

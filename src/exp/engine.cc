@@ -119,12 +119,22 @@ SweepResult::hasServeJobs() const
     return false;
 }
 
+bool
+SweepResult::hasPermuteJobs() const
+{
+    for (const ExperimentJob &j : jobs) {
+        if (j.kind == JobKind::Permute)
+            return true;
+    }
+    return false;
+}
+
 std::vector<std::size_t>
 SweepResult::inconsistentJobs() const
 {
     std::vector<std::size_t> bad;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (jobs[i].kind == JobKind::Crash && !verdicts[i].consistent)
+        if (jobs[i].kind != JobKind::Run && !verdicts[i].consistent)
             bad.push_back(i);
     }
     return bad;
@@ -153,6 +163,16 @@ executeJob(const ExperimentJob &job)
         CrashRunResult cr = runCrashExperiment(job.workload, job.cfg,
                                                job.params,
                                                job.crashTick);
+        e.run = std::move(cr.run);
+        e.verdict = std::move(cr.verdict);
+    } else if (job.kind == JobKind::Permute) {
+        PermuteSpec spec;
+        spec.bound = job.permuteBound;
+        spec.sampleSeed = job.permuteSeed;
+        spec.fault = job.permuteFault;
+        spec.onlyState = job.permuteState;
+        CrashRunResult cr = runPermuteExperiment(
+            job.workload, job.cfg, job.params, job.crashTick, spec);
         e.run = std::move(cr.run);
         e.verdict = std::move(cr.verdict);
     } else {

@@ -79,6 +79,11 @@ struct SweepResult
     /** True if any job in the sweep is a crash-injection job. */
     bool hasCrashJobs() const;
 
+    /** True if any job is a crash-state permutation job (gates the
+     *  coverage columns in the emitters, so legacy crash-campaign
+     *  artifacts keep their schema byte-for-byte). */
+    bool hasPermuteJobs() const;
+
     /** True if any job runs on a non-default media profile (gates the
      *  media columns in the emitters, so single-media paper figures
      *  keep their pre-media artifact schema byte-for-byte). */
@@ -89,7 +94,7 @@ struct SweepResult
      *  way hasNonDefaultMedia gates the media columns). */
     bool hasServeJobs() const;
 
-    /** Indices of crash jobs whose verdict is inconsistent. */
+    /** Indices of crash/permute jobs with an inconsistent verdict. */
     std::vector<std::size_t> inconsistentJobs() const;
 
     /**

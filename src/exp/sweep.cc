@@ -8,7 +8,14 @@ namespace asap
 std::string
 toString(JobKind kind)
 {
-    return kind == JobKind::Crash ? "crash" : "run";
+    switch (kind) {
+      case JobKind::Crash:
+        return "crash";
+      case JobKind::Permute:
+        return "permute";
+      default:
+        return "run";
+    }
 }
 
 std::size_t
@@ -81,6 +88,22 @@ JobSet::addCrash(std::string workload, const SimConfig &cfg,
     const std::size_t i = add(std::move(workload), cfg, p);
     jobs_[i].kind = JobKind::Crash;
     jobs_[i].crashTick = crash_tick;
+    return i;
+}
+
+std::size_t
+JobSet::addPermute(std::string workload, const SimConfig &cfg,
+                   const WorkloadParams &p, Tick crash_tick,
+                   std::uint64_t bound, std::uint64_t seed,
+                   std::string fault, std::string state)
+{
+    const std::size_t i = add(std::move(workload), cfg, p);
+    jobs_[i].kind = JobKind::Permute;
+    jobs_[i].crashTick = crash_tick;
+    jobs_[i].permuteBound = bound;
+    jobs_[i].permuteSeed = seed;
+    jobs_[i].permuteFault = std::move(fault);
+    jobs_[i].permuteState = std::move(state);
     return i;
 }
 

@@ -33,17 +33,19 @@ namespace asap
  */
 enum class JobKind
 {
-    Run,    //!< complete simulation, RunResult stats
-    Crash,  //!< crash injection + consistency check, CrashVerdict
+    Run,     //!< complete simulation, RunResult stats
+    Crash,   //!< crash injection + consistency check, CrashVerdict
+    Permute, //!< crash injection + reachable-state enumeration check
 };
 
-/** Printable name ("run"/"crash"). */
+/** Printable name ("run"/"crash"/"permute"). */
 std::string toString(JobKind kind);
 
 /**
  * One simulation the engine can run: runExperiment(workload, cfg,
  * params). cfg carries the model/persistency/core-count selection.
- * Crash jobs additionally carry the injection tick.
+ * Crash jobs additionally carry the injection tick; Permute jobs
+ * carry the injection tick plus the enumeration knobs.
  */
 struct ExperimentJob
 {
@@ -51,7 +53,13 @@ struct ExperimentJob
     SimConfig cfg;
     WorkloadParams params;
     JobKind kind = JobKind::Run;
-    Tick crashTick = 0; //!< power-failure tick (Crash jobs only)
+    Tick crashTick = 0; //!< power-failure tick (Crash/Permute jobs)
+
+    // Permute jobs only (see src/permute/).
+    std::uint64_t permuteBound = 4096; //!< max states checked per tick
+    std::uint64_t permuteSeed = 1;     //!< sampling seed above bound
+    std::string permuteFault;          //!< fault hook ("", "drop-undo")
+    std::string permuteState;          //!< hex mask: single-state repro
 };
 
 /** A (hardware model, persistency model) column of a figure. */
@@ -107,6 +115,17 @@ class JobSet
      *  result is a recovery-checker verdict. */
     std::size_t addCrash(std::string workload, const SimConfig &cfg,
                          const WorkloadParams &p, Tick crash_tick);
+
+    /** Add a crash-state permutation job: power failure at
+     *  @p crash_tick, every reachable post-crash state checked (up to
+     *  @p bound states, sampled with @p seed beyond it). @p fault
+     *  optionally injects a test-only recovery fault; @p state
+     *  restricts checking to one hex state mask (--repro). */
+    std::size_t addPermute(std::string workload, const SimConfig &cfg,
+                           const WorkloadParams &p, Tick crash_tick,
+                           std::uint64_t bound, std::uint64_t seed,
+                           std::string fault = "",
+                           std::string state = "");
 
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }

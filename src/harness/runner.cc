@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "harness/system.hh"
+#include "permute/permute.hh"
 #include "pm/trace_io.hh"
 #include "recovery/checker.hh"
 #include "serve/op_stream.hh"
@@ -452,6 +453,120 @@ runCrashExperiment(const std::string &workload, const SimConfig &cfg,
     profCheckNs.fetch_add(hostNowNs() - c0, std::memory_order_relaxed);
     v.consistent = check.ok;
     v.message = check.message;
+    return out;
+}
+
+CrashRunResult
+runPermuteExperiment(const std::string &workload, const SimConfig &cfg,
+                     const WorkloadParams &p, Tick crash_tick,
+                     const PermuteSpec &spec)
+{
+    permute::PermuteOptions opt;
+    opt.bound = spec.bound == 0 ? 1 : spec.bound;
+    opt.sampleSeed = spec.sampleSeed;
+    fatal_if(!permute::parsePermuteFault(spec.fault, opt.fault),
+             "unknown permute fault '", spec.fault, "' (valid: ",
+             permute::permuteFaultNames(), ")");
+    if (!spec.onlyState.empty()) {
+        opt.haveOnlyMask = true;
+        fatal_if(!permute::maskFromHex(spec.onlyState, opt.onlyMask),
+                 "bad permute state mask '", spec.onlyState,
+                 "' (expect hex, e.g. from a --repro line)");
+    }
+
+    SimConfig runCfg = cfg;
+    unsigned restarts = 0;
+    std::unique_ptr<System> sysPtr;
+    std::uint64_t simNs = 0;
+    permute::PermuteSnapshot snap;
+    for (;;) {
+        sysPtr = std::make_unique<System>(runCfg, /*keep_run_log=*/true);
+        sysPtr->loadTrace(obtainJobTrace(workload, runCfg, p));
+        snap = permute::PermuteSnapshot{};
+        // Harvest the live persist-path state at the instant of
+        // failure: record views and durable line values are consumed
+        // (erased, drained, rewound) by the canonical crash path that
+        // runs right after this hook.
+        System *rawSys = sysPtr.get();
+        SimConfig *rawCfg = &runCfg;
+        const std::uint64_t t0 = hostNowNs();
+        sysPtr->crashAt(crash_tick, [&snap, rawSys, rawCfg]() {
+            for (unsigned i = 0; i < rawCfg->numMCs; ++i) {
+                MemoryController &mc = rawSys->mc(i);
+                permute::McSnapshot ms;
+                ms.mc = i;
+                if (const RecoveryPolicy *pol = mc.policy())
+                    pol->exportRecords(ms.undos, ms.delays);
+                ms.wpqLines = mc.wpqSnapshot().size();
+                for (const UndoRecordView &u : ms.undos)
+                    snap.durableAtCrash[u.line] = mc.durableValue(u.line);
+                for (const DelayRecordView &d : ms.delays)
+                    snap.durableAtCrash.emplace(d.line,
+                                                mc.durableValue(d.line));
+                snap.mcs.push_back(std::move(ms));
+            }
+            for (std::uint16_t t = 0; t < rawCfg->numCores; ++t)
+                for (std::uint64_t e :
+                     rawSys->model(t).commitInFlightEpochs())
+                    snap.inFlight.emplace_back(t, e);
+        });
+        simNs = hostNowNs() - t0;
+        if (sysPtr->eventQueue().tainted() && runCfg.parDomains > 1) {
+            warn("parallel permute run tainted (",
+                 sysPtr->eventQueue().taintReason(),
+                 "); rerunning sequentially");
+            profTaintRestarts.fetch_add(1, std::memory_order_relaxed);
+            ++restarts;
+            runCfg.parDomains = 1;
+            continue;
+        }
+        break;
+    }
+    System &sys = *sysPtr;
+    profSimulateNs.fetch_add(simNs, std::memory_order_relaxed);
+    profSimRuns.fetch_add(1, std::memory_order_relaxed);
+    accountKernel(sys.eventQueue());
+
+    CrashRunResult out;
+    out.run = extractResult(sys, workload, cfg);
+    out.run.hostNs = simNs;
+    out.run.parDomains =
+        sys.eventQueue().parallel() ? runCfg.parDomains : 1;
+    out.run.parRounds = sys.eventQueue().parallelRounds();
+    out.run.specMisspeculations = sys.eventQueue().misspeculations();
+    out.run.specRollbacks = sys.eventQueue().rollbacks();
+    out.run.parRestarts = restarts;
+
+    CrashVerdict &v = out.verdict;
+    v.crashTick = crash_tick;
+    v.actualTick = sys.runTicks();
+    v.committedUpTo = sys.committedUpTo();
+    v.storesLogged = sys.runLog().allStores().size();
+    for (const auto &[line, value] : sys.nvm().all()) {
+        (void)line;
+        if (value != 0)
+            ++v.linesSurvived;
+    }
+    v.undoReplayed = sys.stats().get("mc.undoRewindWrites");
+    v.adrDrainWrites = sys.stats().get("mc.adrDrainWrites");
+
+    const std::uint64_t c0 = hostNowNs();
+    const permute::PermuteReport rep = permute::permuteAndCheck(
+        snap, opt, sys.nvm(), sys.runLog(), v.committedUpTo);
+    profCheckNs.fetch_add(hostNowNs() - c0, std::memory_order_relaxed);
+
+    v.statesChecked = rep.statesChecked;
+    v.statesReachable = rep.statesReachable;
+    v.distinctStates = rep.distinctStates;
+    v.permuteAtoms = rep.atoms;
+    v.truncated = rep.truncated || rep.atomsTruncated;
+    v.inconsistentStates = rep.inconsistentStates;
+    v.consistent = rep.inconsistentStates == 0;
+    if (rep.haveFirstBad) {
+        v.firstBadState = permute::maskToHex(rep.firstBadMask);
+        v.message = "state " + v.firstBadState + ": " +
+                    rep.firstBadMessage;
+    }
     return out;
 }
 

@@ -197,6 +197,21 @@ struct CrashVerdict
     std::uint64_t undoReplayed = 0;     //!< undo records rewound at crash
     std::uint64_t adrDrainWrites = 0;   //!< WPQ entries ADR drained
 
+    /**
+     * Crash-state permuter coverage (JobKind::Permute only; all zero
+     * for plain crash jobs). statesChecked == statesReachable means
+     * the tick was covered exhaustively; truncated flags sampling.
+     */
+    std::uint64_t statesChecked = 0;
+    std::uint64_t statesReachable = 0;
+    std::uint64_t distinctStates = 0;   //!< unique NVM images
+    std::uint64_t permuteAtoms = 0;     //!< orderable crash-time actions
+    bool truncated = false;             //!< sampled, not exhaustive
+    std::uint64_t inconsistentStates = 0;
+    /** Hex mask of the first inconsistent state (empty when none);
+     *  feed back via --state for a single-state repro. */
+    std::string firstBadState;
+
     explicit operator bool() const { return consistent; }
 };
 
@@ -216,6 +231,31 @@ CrashRunResult runCrashExperiment(const std::string &workload,
                                   const SimConfig &cfg,
                                   const WorkloadParams &p,
                                   Tick crash_tick);
+
+/** Knobs for one crash-state permutation experiment. */
+struct PermuteSpec
+{
+    /** Max states to check (exhaustive when 2^atoms fits). */
+    std::uint64_t bound = 4096;
+    std::uint64_t sampleSeed = 1; //!< sampling PRNG seed above bound
+    /** Fault-injection mode name ("", "none", "drop-undo"). */
+    std::string fault;
+    /** Non-empty: hex mask of the single state to check (--repro). */
+    std::string onlyState;
+};
+
+/**
+ * Like runCrashExperiment, but instead of checking only the canonical
+ * post-crash state, snapshot the persist-path state at the crash
+ * instant and run the checker over every reachable post-crash NVM
+ * state (src/permute). The verdict's consistency covers all checked
+ * states; coverage lands in the statesChecked/statesReachable fields.
+ */
+CrashRunResult runPermuteExperiment(const std::string &workload,
+                                    const SimConfig &cfg,
+                                    const WorkloadParams &p,
+                                    Tick crash_tick,
+                                    const PermuteSpec &spec);
 
 } // namespace asap
 

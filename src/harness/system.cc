@@ -204,7 +204,7 @@ System::run()
 }
 
 void
-System::crashAt(Tick tick)
+System::crashAt(Tick tick, const std::function<void()> &at_crash)
 {
     panic_if(cores.empty(), "crashAt() before loadTrace()");
     if (!crashed) {
@@ -215,6 +215,8 @@ System::crashAt(Tick tick)
     crashed = true;
     for (auto &c : cores)
         c->halt();
+    if (at_crash)
+        at_crash();
     for (PersistModel *m : models)
         m->crash();
     for (MemoryController *mc : mcs)

@@ -9,6 +9,7 @@
 #define ASAP_HARNESS_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -69,8 +70,15 @@ class System
      * Run until @p tick, then inject a power failure: cores halt,
      * models drop volatile state (eADR drains its battery), memory
      * controllers flush their ADR domain and rewind speculation.
+     *
+     * @p at_crash, if set, runs at the instant of failure — after the
+     * cores halt but before any model or controller processes the
+     * crash. The crash-state permuter uses it to snapshot the live
+     * persist-path state (WPQ contents, recovery-policy records,
+     * commit-in-flight epochs) that the canonical drain consumes.
      */
-    void crashAt(Tick tick);
+    void crashAt(Tick tick,
+                 const std::function<void()> &at_crash = {});
 
     /** Wall-clock of the run: last core completion (or crash) time. */
     Tick runTicks() const { return runTicks_; }

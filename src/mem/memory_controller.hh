@@ -84,6 +84,16 @@ class MemoryController
     /** Recovery-policy occupancy (0 when no policy attached). */
     std::size_t rtOccupancy() const;
 
+    /** Attached recovery policy (nullptr for non-ASAP models). */
+    const RecoveryPolicy *policy() const { return policy_; }
+
+    /** Non-destructive WPQ snapshot (crash-state permuter). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    wpqSnapshot() const
+    {
+        return wpq.entries();
+    }
+
     /** The media backend this controller drains into. */
     const MediaModel &mediaModel() const { return *mediaModel_; }
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "mem/packets.hh"
 
@@ -34,6 +35,27 @@ enum class FlushAction
 /** Callback used by policies to emit media writes through the MC. */
 using WriteOutFn =
     std::function<void(std::uint64_t line, std::uint64_t value)>;
+
+/**
+ * Read-only views of a policy's records, exported for the crash-state
+ * permuter (src/permute). A policy that keeps no records exports
+ * nothing.
+ */
+struct UndoRecordView
+{
+    std::uint64_t line;
+    std::uint64_t value;  //!< safe value restored on crash rewind
+    std::uint16_t thread;
+    std::uint64_t epoch;
+};
+
+struct DelayRecordView
+{
+    std::uint64_t line;
+    std::uint64_t value;  //!< parked early-flush value
+    std::uint16_t thread;
+    std::uint64_t epoch;
+};
 
 /** Per-controller speculation policy (ASAP's Recovery Table). */
 class RecoveryPolicy
@@ -67,6 +89,19 @@ class RecoveryPolicy
 
     /** Records currently held (undo + delay), for occupancy stats. */
     virtual std::size_t occupancy() const = 0;
+
+    /**
+     * Export the current undo/delay records (crash-state permuter).
+     * Deterministic order: implementations must sort undos by line.
+     * Record-free policies keep the default no-op.
+     */
+    virtual void
+    exportRecords(std::vector<UndoRecordView> &undos,
+                  std::vector<DelayRecordView> &delays) const
+    {
+        (void)undos;
+        (void)delays;
+    }
 
     /**
      * Speculation checkpoints (parallel kernel). A controller about

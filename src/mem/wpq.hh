@@ -113,6 +113,23 @@ class Wpq
     std::size_t size() const { return count; }
     unsigned capacity() const { return cap; }
 
+    /**
+     * Non-destructive FIFO snapshot of the pending writes (crash-state
+     * permuter). Coalescing keeps at most one entry per line, so the
+     * snapshot doubles as the queue's line -> value map.
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    entries() const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        out.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const Entry &e = ring[(head + i) % ring.size()];
+            out.emplace_back(e.line, e.value);
+        }
+        return out;
+    }
+
     /** Snapshot of all pending writes (used by crash handling). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>>
     drainAll()

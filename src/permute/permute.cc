@@ -1,0 +1,356 @@
+#include "permute/permute.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "sim/log.hh"
+
+namespace asap
+{
+namespace permute
+{
+
+namespace
+{
+
+/** splitmix64: small, seedable, host-independent mask sampler. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+/** Precomputed per-line effect table (see permuteAndCheck). */
+struct LineEffect
+{
+    std::uint64_t line = 0;
+    std::uint64_t canonical = 0; //!< post-canonical-crash value
+    std::uint64_t durable = 0;   //!< pre-rewind (speculative) value
+    bool hasUndo = false;
+    /** Atom indices erasing the undo (commit of its epoch at this MC,
+     *  or a fault drop); the line reverts to @c durable when any of
+     *  these is in the applied set. */
+    std::uint64_t undoEraseMask = 0;
+    /** (atom bit, value) per delay on this line, in release order. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> delayBits;
+};
+
+} // namespace
+
+bool
+parsePermuteFault(const std::string &name, FaultMode &out)
+{
+    if (name.empty() || name == "none") {
+        out = FaultMode::None;
+        return true;
+    }
+    if (name == "drop-undo") {
+        out = FaultMode::DropUndo;
+        return true;
+    }
+    return false;
+}
+
+const char *
+toString(FaultMode mode)
+{
+    return mode == FaultMode::DropUndo ? "drop-undo" : "none";
+}
+
+const char *
+permuteFaultNames()
+{
+    return "none, drop-undo";
+}
+
+std::vector<Atom>
+deriveAtoms(const PermuteSnapshot &snap, FaultMode fault)
+{
+    std::vector<Atom> atoms;
+
+    // One CommitApply atom per (controller, in-flight epoch) pair
+    // with at least one record to act on.
+    for (const McSnapshot &m : snap.mcs) {
+        for (const auto &[thread, epoch] : snap.inFlight) {
+            bool has = false;
+            for (const UndoRecordView &u : m.undos) {
+                if (u.thread == thread && u.epoch == epoch) {
+                    has = true;
+                    break;
+                }
+            }
+            if (!has) {
+                for (const DelayRecordView &d : m.delays) {
+                    if (d.thread == thread && d.epoch == epoch) {
+                        has = true;
+                        break;
+                    }
+                }
+            }
+            if (has)
+                atoms.push_back({Atom::Kind::CommitApply, m.mc, thread,
+                                 epoch, 0});
+        }
+    }
+
+    if (fault == FaultMode::DropUndo) {
+        for (const McSnapshot &m : snap.mcs)
+            for (const UndoRecordView &u : m.undos)
+                atoms.push_back({Atom::Kind::DropUndo, m.mc, u.thread,
+                                 u.epoch, u.line});
+    }
+
+    // Canonical bit order: stable across runs, hosts and shards.
+    std::sort(atoms.begin(), atoms.end(),
+              [](const Atom &a, const Atom &b) {
+                  if (a.kind != b.kind)
+                      return a.kind < b.kind;
+                  if (a.mc != b.mc)
+                      return a.mc < b.mc;
+                  if (a.thread != b.thread)
+                      return a.thread < b.thread;
+                  if (a.epoch != b.epoch)
+                      return a.epoch < b.epoch;
+                  return a.line < b.line;
+              });
+    return atoms;
+}
+
+PermuteReport
+permuteAndCheck(const PermuteSnapshot &snap, const PermuteOptions &opt,
+                NvmContents &nvm, const RunLog &log,
+                const std::vector<std::uint64_t> &committed_up_to)
+{
+    PermuteReport rep;
+
+    std::vector<Atom> atoms = deriveAtoms(snap, opt.fault);
+    if (atoms.size() > kMaxAtoms) {
+        warn("permute: ", atoms.size(), " atoms exceed the ", kMaxAtoms,
+             "-bit mask; dropping the tail (coverage will be partial)");
+        atoms.resize(kMaxAtoms);
+        rep.atomsTruncated = true;
+    }
+    const unsigned n = static_cast<unsigned>(atoms.size());
+    rep.atoms = n;
+    rep.statesReachable = 1ULL << n;
+
+    // Atom lookup: bit mask for "commit(thread, epoch) applied at mc"
+    // and "undo on (mc, line) dropped".
+    auto commitBits = [&](unsigned mc, std::uint16_t thread,
+                          std::uint64_t epoch) {
+        std::uint64_t bits = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const Atom &a = atoms[i];
+            if (a.kind == Atom::Kind::CommitApply && a.mc == mc &&
+                a.thread == thread && a.epoch == epoch)
+                bits |= 1ULL << i;
+        }
+        return bits;
+    };
+    auto dropBits = [&](unsigned mc, std::uint64_t line) {
+        std::uint64_t bits = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            const Atom &a = atoms[i];
+            if (a.kind == Atom::Kind::DropUndo && a.mc == mc &&
+                a.line == line)
+                bits |= 1ULL << i;
+        }
+        return bits;
+    };
+
+    // Build the per-line effect table. Lines are partitioned across
+    // controllers by the address map, so (mc, line) pairs never alias
+    // a line twice.
+    std::vector<LineEffect> effects;
+    for (const McSnapshot &m : snap.mcs) {
+        std::unordered_map<std::uint64_t, std::size_t> index;
+        for (const UndoRecordView &u : m.undos) {
+            LineEffect e;
+            e.line = u.line;
+            e.hasUndo = true;
+            e.canonical = u.value; // rewind wrote the safe value
+            auto dit = snap.durableAtCrash.find(u.line);
+            e.durable =
+                dit == snap.durableAtCrash.end() ? u.value : dit->second;
+            e.undoEraseMask = commitBits(m.mc, u.thread, u.epoch) |
+                              dropBits(m.mc, u.line);
+            index[u.line] = effects.size();
+            effects.push_back(std::move(e));
+        }
+        for (const DelayRecordView &d : m.delays) {
+            auto iit = index.find(d.line);
+            if (iit == index.end()) {
+                LineEffect e;
+                e.line = d.line;
+                auto dit = snap.durableAtCrash.find(d.line);
+                // No undo: the canonical crash leaves the durable
+                // value (delay records are simply discarded).
+                e.durable = dit == snap.durableAtCrash.end()
+                                ? 0
+                                : dit->second;
+                e.canonical = e.durable;
+                index[d.line] = effects.size();
+                effects.push_back(std::move(e));
+                iit = index.find(d.line);
+            }
+            LineEffect &e = effects[iit->second];
+            const std::uint64_t bits =
+                commitBits(m.mc, d.thread, d.epoch);
+            if (bits != 0)
+                e.delayBits.emplace_back(bits, d.value);
+            // Defensive: a released delay racing a *different*
+            // in-flight epoch's undo on the same line would make the
+            // final value order-dependent. Conflict-dependency
+            // ordering makes this unreachable; count it loudly.
+            if (e.hasUndo && e.undoEraseMask != 0 && bits != 0 &&
+                (e.undoEraseMask & bits) == 0)
+                ++rep.orderCollisions;
+        }
+    }
+    if (rep.orderCollisions != 0)
+        warn("permute: ", rep.orderCollisions,
+             " order-dependent undo/delay collisions; final values "
+             "follow release-last semantics");
+
+    // Final value of a line under an applied-atom mask.
+    auto finalValue = [](const LineEffect &e, std::uint64_t mask) {
+        std::uint64_t v =
+            e.hasUndo ? ((e.undoEraseMask & mask) ? e.durable
+                                                  : e.canonical)
+                      : e.canonical;
+        for (const auto &[bits, value] : e.delayBits)
+            if (bits & mask)
+                v = value; // release order: last applied delay wins
+        return v;
+    };
+
+    // --- enumerate masks -------------------------------------------------
+    std::vector<std::uint64_t> masks;
+    if (opt.haveOnlyMask) {
+        masks.push_back(opt.onlyMask & (rep.statesReachable - 1));
+    } else if (rep.statesReachable <= opt.bound) {
+        masks.reserve(rep.statesReachable);
+        for (std::uint64_t m = 0; m < rep.statesReachable; ++m)
+            masks.push_back(m);
+    } else {
+        rep.truncated = true;
+        std::unordered_set<std::uint64_t> chosen;
+        auto add = [&](std::uint64_t m) {
+            if (chosen.insert(m).second)
+                masks.push_back(m);
+        };
+        // Corners first: canonical and all-applied.
+        add(0);
+        add(rep.statesReachable - 1);
+        std::uint64_t prng = opt.sampleSeed;
+        // n > some bits: plenty of distinct masks; cap the draw loop
+        // anyway so a tiny space cannot spin.
+        std::uint64_t draws = 0;
+        while (masks.size() < opt.bound && draws < opt.bound * 64) {
+            add(splitmix64(prng) & (rep.statesReachable - 1));
+            ++draws;
+        }
+    }
+
+    // --- check each state (mutate, check, revert) ------------------------
+    // Distinct-image cache: different masks frequently produce the
+    // same bytes (e.g. a drop atom subsumed by its epoch's commit).
+    std::unordered_map<std::uint64_t, std::pair<bool, std::string>>
+        verdictByKey;
+    for (std::uint64_t mask : masks) {
+        ++rep.statesChecked;
+
+        std::uint64_t key = kFnvOffset;
+        for (const LineEffect &e : effects) {
+            fnvMix(key, e.line);
+            fnvMix(key, finalValue(e, mask));
+        }
+
+        auto vit = verdictByKey.find(key);
+        bool ok;
+        std::string message;
+        if (vit != verdictByKey.end()) {
+            ok = vit->second.first;
+            message = vit->second.second;
+        } else {
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> saved;
+            for (const LineEffect &e : effects) {
+                const std::uint64_t want = finalValue(e, mask);
+                const std::uint64_t have = nvm.read(e.line);
+                if (want != have) {
+                    saved.emplace_back(e.line, have);
+                    nvm.write(e.line, want);
+                }
+            }
+            const CheckResult cr =
+                checkCrashConsistency(log, nvm, committed_up_to);
+            for (const auto &[line, value] : saved)
+                nvm.write(line, value);
+            ok = cr.ok;
+            message = cr.message;
+            verdictByKey.emplace(key,
+                                 std::make_pair(ok, message));
+        }
+
+        if (!ok) {
+            ++rep.inconsistentStates;
+            if (!rep.haveFirstBad) {
+                rep.haveFirstBad = true;
+                rep.firstBadMask = mask;
+                rep.firstBadMessage = message;
+            }
+        }
+    }
+    rep.distinctStates = verdictByKey.size();
+    return rep;
+}
+
+std::string
+maskToHex(std::uint64_t mask)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(mask));
+    return buf;
+}
+
+bool
+maskFromHex(const std::string &hex, std::uint64_t &out)
+{
+    if (hex.empty() || hex.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (char c : hex) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            v |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace permute
+} // namespace asap

@@ -131,6 +131,9 @@ class EpochTable
     /** Access an in-flight entry (nullptr if absent/committed). */
     const Entry *find(std::uint64_t ts) const;
 
+    /** All in-flight entries, oldest first (crash-state permuter). */
+    const std::deque<Entry> &inFlightEntries() const { return entries; }
+
   private:
     Entry *findMut(std::uint64_t ts);
 

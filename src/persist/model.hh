@@ -123,6 +123,19 @@ class PersistModel
     /** Power failure: drop volatile persist-path state. */
     virtual void crash() = 0;
 
+    /**
+     * Epochs whose commit protocol is in flight at this instant
+     * (commit messages sent, not all ACKs received). The crash-state
+     * permuter treats each (MC, in-flight epoch) commit application
+     * as an independently orderable atom. Models without a commit
+     * message exchange report none.
+     */
+    virtual std::vector<std::uint64_t>
+    commitInFlightEpochs() const
+    {
+        return {};
+    }
+
     std::uint16_t threadId() const { return thread; }
 
   protected:

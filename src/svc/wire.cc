@@ -1,6 +1,7 @@
 #include "svc/wire.hh"
 
 #include "media/media.hh"
+#include "permute/permute.hh"
 #include "serve/scenario.hh"
 #include "workloads/registry.hh"
 
@@ -59,6 +60,8 @@ tryParseJobKind(const std::string &name, JobKind &out)
         out = JobKind::Run;
     else if (name == "crash")
         out = JobKind::Crash;
+    else if (name == "permute")
+        out = JobKind::Permute;
     else
         return false;
     return true;
@@ -74,6 +77,16 @@ jobToJson(const ExperimentJob &job)
     v.set("workload", Json::str(job.workload));
     v.set("kind", Json::str(toString(job.kind)));
     v.set("crashTick", Json::number(job.crashTick));
+    // Enumeration knobs only travel for permute jobs, keeping every
+    // pre-permuter frame byte-identical.
+    if (job.kind == JobKind::Permute) {
+        v.set("permuteBound", Json::number(job.permuteBound));
+        v.set("permuteSeed", Json::number(job.permuteSeed));
+        if (!job.permuteFault.empty())
+            v.set("permuteFault", Json::str(job.permuteFault));
+        if (!job.permuteState.empty())
+            v.set("permuteState", Json::str(job.permuteState));
+    }
 
     Json cfg = Json::object();
     cfg.set("numCores", Json::number(std::uint64_t(c.numCores)));
@@ -205,8 +218,33 @@ jobFromJson(const Json &v, ExperimentJob &out, std::string *why)
                           "'");
     }
     job.crashTick = v.get("crashTick").asU64(0);
-    if (job.kind == JobKind::Crash && job.crashTick == 0)
+    if (job.kind != JobKind::Run && job.crashTick == 0)
         return reject(why, "crash job without a crash tick");
+    if (job.kind == JobKind::Permute) {
+        job.permuteBound = v.get("permuteBound").asU64(job.permuteBound);
+        if (job.permuteBound == 0)
+            return reject(why, "permute bound must be >= 1");
+        job.permuteSeed = v.get("permuteSeed").asU64(job.permuteSeed);
+        if (v.has("permuteFault"))
+            job.permuteFault = v.get("permuteFault").asString();
+        {
+            permute::FaultMode fault;
+            if (!permute::parsePermuteFault(job.permuteFault, fault)) {
+                return reject(why, "unknown permute fault '" +
+                                       job.permuteFault + "' (valid: " +
+                                       permute::permuteFaultNames() +
+                                       ")");
+            }
+        }
+        if (v.has("permuteState")) {
+            job.permuteState = v.get("permuteState").asString();
+            std::uint64_t mask = 0;
+            if (!permute::maskFromHex(job.permuteState, mask)) {
+                return reject(why, "bad permute state mask '" +
+                                       job.permuteState + "'");
+            }
+        }
+    }
 
     const Json &cfg = v.get("cfg");
     if (!cfg.isNull()) {

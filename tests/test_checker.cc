@@ -177,5 +177,65 @@ TEST_F(CheckerFixture, DuplicateTokensRejected)
     EXPECT_NE(r.message.find("duplicate"), std::string::npos);
 }
 
+// --- violation classes the crash-state permuter (src/permute/) can
+// --- synthesize; each must be rejected independently of the permuter.
+
+TEST_F(CheckerFixture, PartialUndoRewindViolation)
+{
+    // A crash-time rewind that applied only part of the Recovery
+    // Table: speculative epoch 1's write on line 100 was rolled back
+    // to the initial value, but its dependent epoch 2 kept its
+    // speculative value on line 101 — the survivor's ancestor is no
+    // longer durable.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 101, 22);
+    nvm.write(100, 0); // rewound (initial value)
+    nvm.write(101, 22); // speculative survivor
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("ancestor"), std::string::npos);
+    // Fully rewinding (both lines) is legal again.
+    nvm.write(101, 0);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, OutOfOrderWpqDrainViolation)
+{
+    // A WPQ drain that let epoch 3's write reach media while dropping
+    // committed epoch 2's still-queued write: the later epoch
+    // survived an earlier committed one.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 101, 22);
+    log.recordStore(0, 3, 102, 33);
+    committed[0] = 2;
+    nvm.write(100, 11);
+    nvm.write(102, 33); // drained out of order
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    // Both check classes fire on this state; either message proves
+    // the drain reorder was caught.
+    const bool lostCommit =
+        r.message.find("committed") != std::string::npos;
+    const bool badAncestor =
+        r.message.find("ancestor") != std::string::npos;
+    EXPECT_TRUE(lostCommit || badAncestor) << r.message;
+    // The in-order drain of the same three writes is legal.
+    nvm.write(101, 22);
+    EXPECT_TRUE(check().ok);
+}
+
+TEST_F(CheckerFixture, TornLineValueIsAlien)
+{
+    // A value matching no logged store token on a logged line — e.g.
+    // a torn combination of two writes — is flagged as alien rather
+    // than attributed to either epoch.
+    log.recordStore(0, 1, 100, 11);
+    log.recordStore(0, 2, 100, 22);
+    nvm.write(100, 33); // neither token
+    CheckResult r = check();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("alien"), std::string::npos);
+}
+
 } // namespace
 } // namespace asap

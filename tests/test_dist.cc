@@ -51,6 +51,20 @@ sampleJobs()
     spec.coreCounts = {2};
     spec.params = tinyParams();
     std::vector<ExperimentJob> jobs = spec.expand();
+    // One of each verdict-bearing kind, so manifest round-trips cover
+    // the crash tick and the permute knobs.
+    ExperimentJob crash = jobs.front();
+    crash.kind = JobKind::Crash;
+    crash.crashTick = 1234;
+    jobs.push_back(crash);
+    ExperimentJob perm = jobs.front();
+    perm.kind = JobKind::Permute;
+    perm.crashTick = 1234;
+    perm.permuteBound = 256;
+    perm.permuteSeed = 3;
+    perm.permuteFault = "drop-undo";
+    perm.permuteState = "1f";
+    jobs.push_back(perm);
     jobs.push_back(jobs.front()); // duplicate: follows its leader
     return jobs;
 }
@@ -252,6 +266,11 @@ TEST(Manifest, SerializationRoundTrips)
         EXPECT_EQ(out.jobs[i].cores, m.jobs[i].cores);
         EXPECT_EQ(out.jobs[i].seed, m.jobs[i].seed);
         EXPECT_EQ(out.jobs[i].ops, m.jobs[i].ops);
+        EXPECT_EQ(out.jobs[i].crashTick, m.jobs[i].crashTick);
+        EXPECT_EQ(out.jobs[i].permuteBound, m.jobs[i].permuteBound);
+        EXPECT_EQ(out.jobs[i].permuteSeed, m.jobs[i].permuteSeed);
+        EXPECT_EQ(out.jobs[i].permuteFault, m.jobs[i].permuteFault);
+        EXPECT_EQ(out.jobs[i].permuteState, m.jobs[i].permuteState);
         EXPECT_EQ(out.jobs[i].status, m.jobs[i].status);
     }
 }
@@ -270,12 +289,12 @@ TEST(Manifest, RejectsDamagedText)
     EXPECT_NE(why.find("truncated"), std::string::npos);
 
     std::string wrongVersion = good;
-    wrongVersion.replace(wrongVersion.find("manifest 2"), 10,
+    wrongVersion.replace(wrongVersion.find("manifest 3"), 10,
                          "manifest 9");
     EXPECT_FALSE(deserializeManifest(wrongVersion, out, &why));
     EXPECT_NE(why.find("version"), std::string::npos);
 
-    EXPECT_FALSE(deserializeManifest("manifest 2\nbogus 3\nend 1\n",
+    EXPECT_FALSE(deserializeManifest("manifest 3\nbogus 3\nend 1\n",
                                      out, &why));
     EXPECT_NE(why.find("unknown field"), std::string::npos);
 }
