@@ -54,6 +54,8 @@ struct PermuteArgs
     std::uint64_t sampleSeed = 1; //!< sampling seed above the bound
     std::string fault;            //!< test-only recovery fault hook
     std::string state;            //!< hex mask: check one state only
+    std::string engine;           //!< check loop ("", inc., naive)
+    unsigned permuteThreads = 1;  //!< state-check worker threads
 
     bool repro = false;   //!< single-crash-point replay mode
     std::string model = "asap";
@@ -80,6 +82,7 @@ usage(const char *argv0)
         "          [--tick-seed S] [--cores N] [--models "
         "m1_pm1,m2_pm2,...]\n"
         "          [--bound N] [--sample-seed S] [--inject-fault F]\n"
+        "          [--engine E] [--permute-jobs N]\n"
         "          [--progress] [--daemon SOCKET] "
         "[--par-domains N] [--par-spec-window T]\n"
         "          [--shard i/n [--claim] [--salt S] "
@@ -88,7 +91,8 @@ usage(const char *argv0)
         "--cores N\n"
         "          --ops N --seed S --crash-tick T [--bound N] "
         "[--sample-seed S]\n"
-        "          [--inject-fault F] [--state HEXMASK]\n",
+        "          [--inject-fault F] [--state HEXMASK] [--engine E] "
+        "[--permute-jobs N]\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -165,6 +169,20 @@ parseArgs(int argc, char **argv)
                 std::exit(2);
             }
         }
+        else if (!std::strcmp(arg, "--engine")) {
+            a.engine = need(i), ++i;
+            permute::Engine eng;
+            if (!permute::parsePermuteEngine(a.engine, eng)) {
+                std::fprintf(stderr,
+                             "error: unknown permute engine '%s'; "
+                             "valid engines: %s\n", a.engine.c_str(),
+                             permute::permuteEngineNames());
+                std::exit(2);
+            }
+        }
+        else if (!std::strcmp(arg, "--permute-jobs"))
+            a.permuteThreads =
+                unsigned(std::strtoul(need(i), nullptr, 0)), ++i;
         else if (!std::strcmp(arg, "--state")) {
             a.state = need(i), ++i;
             std::uint64_t mask;
@@ -268,6 +286,11 @@ printVerdict(const CrashVerdict &v)
                 (unsigned long long)v.linesSurvived,
                 (unsigned long long)v.undoReplayed,
                 (unsigned long long)v.adrDrainWrites);
+    if (v.permuteNs != 0)
+        std::printf("  check time %.1f ms (%.0f states/s)\n",
+                    double(v.permuteNs) / 1e6,
+                    double(v.statesChecked) * 1e9 /
+                        double(v.permuteNs));
     if (v.inconsistentStates != 0)
         std::printf("  inconsistent states %llu (first bad mask %s)\n",
                     (unsigned long long)v.inconsistentStates,
@@ -290,7 +313,8 @@ runRepro(const PermuteArgs &a)
 
     JobSet set;
     set.addPermute(a.workload, cfg, paramsFor(a), a.crashTick,
-                   a.bound, a.sampleSeed, a.fault, a.state);
+                   a.bound, a.sampleSeed, a.fault, a.state, a.engine,
+                   a.permuteThreads);
     RunOptions opt;
     opt.jobs = a.jobs;
     const SweepResult sr = runJobs(set.jobs(), opt);
@@ -331,6 +355,8 @@ runPermuteCampaign(const PermuteArgs &a, const BenchArgs &emitArgs)
     spec.permuteBound = a.bound;
     spec.permuteSeed = a.sampleSeed;
     spec.permuteFault = a.fault;
+    spec.permuteEngine = a.engine;
+    spec.permuteThreads = a.permuteThreads;
 
     if (emitArgs.sharded) {
         // Same protocol as the crash campaign: probes block until the
@@ -365,8 +391,9 @@ runPermuteCampaign(const PermuteArgs &a, const BenchArgs &emitArgs)
     const CampaignResult cr =
         runCampaign(spec, emitArgs.options(), runner);
     if (cr.probePhaseCached) {
-        // stderr only: the verdict table must stay byte-identical
-        // between cold and warm campaigns.
+        // stderr only: apart from the host-side states/s column, the
+        // verdict table stays byte-identical between cold and warm
+        // campaigns.
         std::fprintf(stderr,
                      "probe phase: served from memoized summary\n");
     }
@@ -377,18 +404,19 @@ runPermuteCampaign(const PermuteArgs &a, const BenchArgs &emitArgs)
                 (unsigned long long)a.bound,
                 a.fault.empty() ? "" : ", fault ",
                 a.fault.c_str());
-    std::printf("%-12s %-10s %5s %7s %10s %10s %6s %5s %5s\n",
+    std::printf("%-12s %-10s %5s %7s %10s %10s %6s %5s %5s %9s\n",
                 "workload", "model", "cores", "points", "checked",
-                "reachable", "cov%", "trunc", "bad");
+                "reachable", "cov%", "trunc", "bad", "states/s");
     std::size_t next = 0;
     bool anyTruncated = false;
     for (const CampaignRow &row : cr.rows) {
-        std::uint64_t checked = 0, reachable = 0;
+        std::uint64_t checked = 0, reachable = 0, checkNs = 0;
         std::size_t truncated = 0, bad = 0;
         for (std::size_t i = 0; i < row.points; ++i, ++next) {
             const CrashVerdict &v = cr.sweep.verdicts[next];
             checked += v.statesChecked;
             reachable += v.statesReachable;
+            checkNs += v.permuteNs;
             if (v.truncated)
                 ++truncated;
             if (!v.consistent)
@@ -398,15 +426,25 @@ runPermuteCampaign(const PermuteArgs &a, const BenchArgs &emitArgs)
         const double cov =
             reachable ? 100.0 * double(checked) / double(reachable)
                       : 100.0;
+        // Host-side rate; "-" when every verdict in the row was
+        // cache-served (permuteNs is never cached). The one
+        // non-deterministic table column, mirroring wallSeconds in
+        // the JSON header.
+        char rate[24];
+        if (checkNs)
+            std::snprintf(rate, sizeof(rate), "%.0f",
+                          double(checked) * 1e9 / double(checkNs));
+        else
+            std::snprintf(rate, sizeof(rate), "-");
         std::printf("%-12s %-10s %5u %7zu %10llu %10llu %6.1f %5zu "
-                    "%5zu\n",
+                    "%5zu %9s\n",
                     row.workload.c_str(),
                     (toString(row.model) + "_" + toString(row.pm))
                         .c_str(),
                     row.cores, row.points,
                     (unsigned long long)checked,
                     (unsigned long long)reachable, cov, truncated,
-                    bad);
+                    bad, rate);
     }
     std::printf("permute campaign: %zu crash points, %zu consistent, "
                 "%zu inconsistent%s\n",
@@ -433,6 +471,9 @@ main(int argc, char **argv)
 {
     setLogQuiet(true);
     const PermuteArgs a = parseArgs(argc, argv);
+    // --progress also turns on the state-level meter inside the
+    // permuter (states checked, states/s, ETA on stderr).
+    permute::setPermuteProgress(a.progress);
     if (a.repro) {
         if (a.workload.empty()) {
             std::fprintf(stderr,

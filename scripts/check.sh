@@ -59,6 +59,24 @@ grep -qE '  100\.0 ' "$TMP/permute.txt"
 grep -q '"kind": "permute"' "$TMP/permute.json"
 grep -q '"statesChecked"' "$TMP/permute.json"
 
+# Permuter engine parity: the naive (pre-incremental) check loop, the
+# default incremental engine and the parallel path (8 segment workers)
+# must report identical verdicts and coverage — stdout matches apart
+# from the host-side states/s column of the coverage table, which is
+# the one timing-dependent field. Under ASAP_SANITIZE=thread the
+# --permute-jobs run doubles as the TSan pass over segment workers
+# sharing one CheckerIndex and delta-check scope.
+strip_rate() { sed -E 's/[[:space:]]+[0-9.]+$|[[:space:]]+-$//'; }
+strip_rate < "$TMP/permute.txt" > "$TMP/engine_default.txt"
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --engine naive | strip_rate \
+    > "$TMP/engine_naive.txt"
+"$BUILD/bench/crash_permute" --jobs 4 --ops 30 --ticks 6 \
+    --workload cceh --permute-jobs 8 | strip_rate \
+    > "$TMP/engine_par.txt"
+diff "$TMP/engine_default.txt" "$TMP/engine_naive.txt"
+diff "$TMP/engine_default.txt" "$TMP/engine_par.txt"
+
 # Sharded permute + merge audit: the permute sweep split over two
 # shards on a shared cache must simulate every job exactly once
 # (zero duplicates) and merge back to the single-host CSV artifact
@@ -238,4 +256,4 @@ grep -q 'daemon:' "$TMP/serve_top.txt"
 "$BUILD/bench/asapctl" --socket "$TMP/serve.sock" shutdown > /dev/null
 wait "$SERVED_PID"
 
-echo "check.sh: build, tests, parallel sweep, crash campaign, crash-state permuter, sharded merge, media sweep, trace replay, kernel bench, sweep service and serving scenarios all passed"
+echo "check.sh: build, tests, parallel sweep, crash campaign, crash-state permuter, engine parity, sharded merge, media sweep, trace replay, kernel bench, sweep service and serving scenarios all passed"

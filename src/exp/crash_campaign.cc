@@ -236,7 +236,9 @@ expandCampaign(const CampaignSpec &spec,
             if (spec.sweepKind == JobKind::Permute) {
                 crash.addPermute(conf.workload, conf.cfg, spec.params,
                                  t, spec.permuteBound, spec.permuteSeed,
-                                 spec.permuteFault);
+                                 spec.permuteFault, "",
+                                 spec.permuteEngine,
+                                 spec.permuteThreads);
             } else {
                 crash.addCrash(conf.workload, conf.cfg, spec.params, t);
             }

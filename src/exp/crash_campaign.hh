@@ -104,6 +104,9 @@ struct CampaignSpec
     std::uint64_t permuteBound = 4096; //!< max states per crash point
     std::uint64_t permuteSeed = 1;     //!< sampling seed above bound
     std::string permuteFault;          //!< fault hook ("", "drop-undo")
+    /** Check-loop execution knobs (never keyed — see ExperimentJob). */
+    std::string permuteEngine;   //!< "", "incremental", "naive"
+    unsigned permuteThreads = 1; //!< 1 = inline, 0 = hw threads
 };
 
 /** Per-configuration verdict summary row. */

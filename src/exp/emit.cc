@@ -160,7 +160,29 @@ emitJson(std::ostream &os, const SweepResult &sr)
        << ", \"traceHits\": " << sr.traceHits
        << ", \"traceMisses\": " << sr.traceMisses
        << ", \"traceDiskHits\": " << sr.traceDiskHits
-       << ", \"wallSeconds\": " << sr.wallSeconds << "},\n"
+       << ", \"wallSeconds\": " << sr.wallSeconds;
+    // Permute throughput aggregate. Host-side numbers live in the
+    // sweep header next to wallSeconds — the one non-deterministic
+    // corner of the artifact — so per-row results stay byte-stable
+    // across hosts, cache states and shard splits. Zero hostNs (all
+    // verdicts cache-served) yields a zero rate.
+    if (sr.hasPermuteJobs()) {
+        std::uint64_t states = 0, ns = 0;
+        for (std::size_t i = 0; i < sr.jobs.size(); ++i) {
+            if (sr.jobs[i].kind != JobKind::Permute)
+                continue;
+            states += sr.verdicts[i].statesChecked;
+            ns += sr.verdicts[i].permuteNs;
+        }
+        const double rate =
+            ns ? static_cast<double>(states) * 1e9 /
+                     static_cast<double>(ns)
+               : 0.0;
+        os << ", \"permuteStatesChecked\": " << states
+           << ", \"permuteHostNs\": " << ns
+           << ", \"permuteStatesPerSec\": " << rate;
+    }
+    os << "},\n"
        << "  \"results\": [\n";
     const bool media = sr.hasNonDefaultMedia();
     const bool serve = sr.hasServeJobs();

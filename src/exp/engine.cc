@@ -171,6 +171,8 @@ executeJob(const ExperimentJob &job)
         spec.sampleSeed = job.permuteSeed;
         spec.fault = job.permuteFault;
         spec.onlyState = job.permuteState;
+        spec.engine = job.permuteEngine;
+        spec.threads = job.permuteThreads;
         CrashRunResult cr = runPermuteExperiment(
             job.workload, job.cfg, job.params, job.crashTick, spec);
         e.run = std::move(cr.run);

@@ -95,7 +95,8 @@ std::size_t
 JobSet::addPermute(std::string workload, const SimConfig &cfg,
                    const WorkloadParams &p, Tick crash_tick,
                    std::uint64_t bound, std::uint64_t seed,
-                   std::string fault, std::string state)
+                   std::string fault, std::string state,
+                   std::string engine, unsigned threads)
 {
     const std::size_t i = add(std::move(workload), cfg, p);
     jobs_[i].kind = JobKind::Permute;
@@ -104,6 +105,8 @@ JobSet::addPermute(std::string workload, const SimConfig &cfg,
     jobs_[i].permuteSeed = seed;
     jobs_[i].permuteFault = std::move(fault);
     jobs_[i].permuteState = std::move(state);
+    jobs_[i].permuteEngine = std::move(engine);
+    jobs_[i].permuteThreads = threads;
     return i;
 }
 

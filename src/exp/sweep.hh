@@ -60,6 +60,17 @@ struct ExperimentJob
     std::uint64_t permuteSeed = 1;     //!< sampling seed above bound
     std::string permuteFault;          //!< fault hook ("", "drop-undo")
     std::string permuteState;          //!< hex mask: single-state repro
+
+    /**
+     * Check-loop execution knobs (engine name and worker threads).
+     * Like the parallel-kernel knobs on SimConfig, these deliberately
+     * do NOT enter job keys, caches or the wire protocol: every
+     * engine/thread-count combination produces bit-identical
+     * verdicts, so keying them would only split the cache (and
+     * daemon-routed jobs simply run the receiver's defaults).
+     */
+    std::string permuteEngine;   //!< "", "incremental", "naive"
+    unsigned permuteThreads = 1; //!< 1 = inline, 0 = hw threads
 };
 
 /** A (hardware model, persistency model) column of a figure. */
@@ -120,12 +131,16 @@ class JobSet
      *  @p crash_tick, every reachable post-crash state checked (up to
      *  @p bound states, sampled with @p seed beyond it). @p fault
      *  optionally injects a test-only recovery fault; @p state
-     *  restricts checking to one hex state mask (--repro). */
+     *  restricts checking to one hex state mask (--repro).
+     *  @p engine / @p threads pick the check loop (execution knobs —
+     *  see the field comment). */
     std::size_t addPermute(std::string workload, const SimConfig &cfg,
                            const WorkloadParams &p, Tick crash_tick,
                            std::uint64_t bound, std::uint64_t seed,
                            std::string fault = "",
-                           std::string state = "");
+                           std::string state = "",
+                           std::string engine = "",
+                           unsigned threads = 1);
 
     const std::vector<ExperimentJob> &jobs() const { return jobs_; }
     std::size_t size() const { return jobs_.size(); }

@@ -447,9 +447,13 @@ runCrashExperiment(const std::string &workload, const SimConfig &cfg,
     v.undoReplayed = sys.stats().get("mc.undoRewindWrites");
     v.adrDrainWrites = sys.stats().get("mc.adrDrainWrites");
 
+    // Check through the shared index: a permute job probing the same
+    // tick (same log) reuses this build instead of re-indexing.
     const std::uint64_t c0 = hostNowNs();
-    const CheckResult check = checkCrashConsistency(
-        sys.runLog(), sys.nvm(), v.committedUpTo);
+    const std::shared_ptr<const CheckerIndex> index =
+        sharedCheckerIndex(sys.runLog());
+    const CheckResult check =
+        index->check(NvmView(sys.nvm()), v.committedUpTo);
     profCheckNs.fetch_add(hostNowNs() - c0, std::memory_order_relaxed);
     v.consistent = check.ok;
     v.message = check.message;
@@ -473,6 +477,10 @@ runPermuteExperiment(const std::string &workload, const SimConfig &cfg,
                  "bad permute state mask '", spec.onlyState,
                  "' (expect hex, e.g. from a --repro line)");
     }
+    fatal_if(!permute::parsePermuteEngine(spec.engine, opt.engine),
+             "unknown permute engine '", spec.engine, "' (valid: ",
+             permute::permuteEngineNames(), ")");
+    opt.threads = spec.threads;
 
     SimConfig runCfg = cfg;
     unsigned restarts = 0;
@@ -553,7 +561,9 @@ runPermuteExperiment(const std::string &workload, const SimConfig &cfg,
     const std::uint64_t c0 = hostNowNs();
     const permute::PermuteReport rep = permute::permuteAndCheck(
         snap, opt, sys.nvm(), sys.runLog(), v.committedUpTo);
-    profCheckNs.fetch_add(hostNowNs() - c0, std::memory_order_relaxed);
+    const std::uint64_t checkNs = hostNowNs() - c0;
+    profCheckNs.fetch_add(checkNs, std::memory_order_relaxed);
+    v.permuteNs = checkNs;
 
     v.statesChecked = rep.statesChecked;
     v.statesReachable = rep.statesReachable;

@@ -212,6 +212,13 @@ struct CrashVerdict
      *  feed back via --state for a single-state repro. */
     std::string firstBadState;
 
+    /** Host wall-clock nanoseconds the permute check loop took.
+     *  Host-side like RunResult::hostNs: never serialized into caches
+     *  and never emitted into deterministic artifacts (zero on
+     *  cache-served results). statesChecked / permuteNs seconds is
+     *  the engine's states/sec. */
+    std::uint64_t permuteNs = 0;
+
     explicit operator bool() const { return consistent; }
 };
 
@@ -242,6 +249,14 @@ struct PermuteSpec
     std::string fault;
     /** Non-empty: hex mask of the single state to check (--repro). */
     std::string onlyState;
+
+    /** Check-loop engine name ("", "incremental", "naive"). Purely an
+     *  execution knob: every engine produces bit-identical verdicts,
+     *  so it never enters job keys or caches. */
+    std::string engine;
+    /** Worker threads for the incremental engine (1 = inline, 0 = one
+     *  per hardware thread). Execution knob like engine. */
+    unsigned threads = 1;
 };
 
 /**

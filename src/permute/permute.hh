@@ -44,6 +44,30 @@
  * undo of an *unsafe* epoch lets a speculative value survive while
  * ancestor-epoch writes still in volatile persist buffers are lost —
  * a prefix-closure violation the checker must flag.
+ *
+ * Engines. Two check loops produce bit-identical reports:
+ *
+ *  - Naive: the original loop. Per state, rebuild every line's final
+ *    value, hash the full image, and on a distinct image mutate the
+ *    shared NvmContents, run the one-shot checker (which re-indexes
+ *    the run log), and revert. O(effects) per state + O(log) per
+ *    distinct image. Kept unchanged as the benchmark baseline.
+ *  - Incremental (default): enumerate the exhaustive space in
+ *    reflected Gray-code order so consecutive states differ in one
+ *    atom; a per-atom inverted index updates only the lines that atom
+ *    can touch, and an incrementally maintained XOR fingerprint
+ *    replaces the full-image hash. States are checked through a
+ *    copy-on-write overlay (NvmView) against a build-once
+ *    CheckerIndex, so nothing mutates shared state — which also makes
+ *    the loop parallel: the mask space splits into contiguous Gray
+ *    segments checked on a ThreadPool and merged deterministically
+ *    (counts summed, distinct fingerprints unioned, first-bad = the
+ *    numerically lowest bad mask).
+ *
+ * First-bad is the lowest bad mask under every engine: exhaustive
+ * enumeration is (or covers) ascending order, and sampled mask sets
+ * are sorted before checking, so the report cannot depend on engine,
+ * thread count or draw order.
  */
 
 #ifndef ASAP_PERMUTE_PERMUTE_HH
@@ -105,6 +129,36 @@ const char *toString(FaultMode mode);
 /** Comma-separated valid fault-mode names (error messages, --help). */
 const char *permuteFaultNames();
 
+/** Which check loop enumerates the states (reports are identical). */
+enum class Engine
+{
+    Naive,       //!< original rebuild-hash-mutate-revert loop
+    Incremental, //!< Gray-code + inverted index + overlay checks
+};
+
+/** Parse an engine name ("" and "incremental" -> Incremental,
+ *  "naive" -> Naive); returns false on an unknown name. */
+bool parsePermuteEngine(const std::string &name, Engine &out);
+const char *toString(Engine engine);
+/** Comma-separated valid engine names (error messages, --help). */
+const char *permuteEngineNames();
+
+/** i-th reflected Gray code: consecutive values differ in exactly
+ *  one bit and i = 0..2^n-1 covers every n-bit value once. */
+constexpr std::uint64_t
+grayCode(std::uint64_t i)
+{
+    return i ^ (i >> 1);
+}
+
+/**
+ * Toggle the stderr progress meter (states checked, states/sec, ETA)
+ * for subsequent permuteAndCheck calls. Host-side observability only:
+ * rate-limited statusLine output, never touches the report. Process-
+ * wide because the permuter runs deep under the experiment engine.
+ */
+void setPermuteProgress(bool on);
+
 /** One orderable crash-time action. */
 struct Atom
 {
@@ -142,6 +196,15 @@ struct PermuteOptions
     FaultMode fault = FaultMode::None;
     bool haveOnlyMask = false; //!< --repro: check a single state
     std::uint64_t onlyMask = 0;
+
+    /** Check loop (reports are engine-independent by construction). */
+    Engine engine = Engine::Incremental;
+    /**
+     * Worker threads for the incremental engine's segment checks:
+     * 1 = inline (no pool), 0 = one per hardware thread. Ignored by
+     * the naive engine, which shares mutable state across checks.
+     */
+    unsigned threads = 1;
 };
 
 /** Enumeration + checking outcome for one crash tick. */
@@ -165,12 +228,13 @@ struct PermuteReport
 constexpr unsigned kMaxAtoms = 63;
 
 /**
- * Enumerate the reachable states and run checkCrashConsistency on
- * each. @p nvm must hold the canonical post-crash state; it is
- * mutated per state and restored before returning (mutate-check-
- * revert — each enumerated state differs from canonical only on
- * record lines). Duplicate NVM images (different masks, same bytes)
- * are checked once and counted per mask.
+ * Enumerate the reachable states and run the recovery checker on
+ * each. @p nvm must hold the canonical post-crash state. The naive
+ * engine mutates it per state and restores it before returning; the
+ * incremental engine only reads it (states are checked through a
+ * copy-on-write overlay). Either way @p nvm is bit-identical to its
+ * input when the call returns. Duplicate NVM images (different masks,
+ * same bytes) are checked once and counted per mask.
  */
 PermuteReport
 permuteAndCheck(const PermuteSnapshot &snap, const PermuteOptions &opt,

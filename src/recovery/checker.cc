@@ -1,49 +1,18 @@
 #include "recovery/checker.hh"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <deque>
+#include <mutex>
 #include <set>
 #include <sstream>
-#include <unordered_map>
-#include <vector>
 
 namespace asap
 {
 
-namespace
+CheckerIndex::CheckerIndex(const RunLog &log)
 {
-
-/** Ordered epoch key. */
-using Key = std::pair<std::uint16_t, std::uint64_t>;
-
-struct EpochNode
-{
-    /** Per-line index (into that line's write list) of this epoch's
-     *  last write to the line. */
-    std::unordered_map<std::uint64_t, std::size_t> lastWrite;
-    /** Direct cross-thread parents. */
-    std::vector<Key> depParents;
-};
-
-} // namespace
-
-CheckResult
-checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
-                      const std::vector<std::uint64_t> &committed_up_to)
-{
-    CheckResult res;
-    auto fail = [&res](const std::string &msg) {
-        res.ok = false;
-        res.message = msg;
-        return res;
-    };
-
-    // --- index the log ---------------------------------------------------
     // Per line, writes in retirement order (token -> index).
-    std::unordered_map<std::uint64_t, std::vector<RunLog::StoreRecord>>
-        lineWrites;
-    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
-        tokenIndex; // token -> (line, index)
     for (const RunLog::StoreRecord &s : log.allStores())
         lineWrites[s.line].push_back(s);
     for (auto &[line, ws] : lineWrites) {
@@ -53,16 +22,19 @@ checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
                   });
         for (std::size_t i = 0; i < ws.size(); ++i) {
             if (tokenIndex.count(ws[i].value)) {
-                std::ostringstream os;
-                os << "duplicate store token " << ws[i].value;
-                return fail(os.str());
+                if (buildOk) {
+                    std::ostringstream os;
+                    os << "duplicate store token " << ws[i].value;
+                    buildOk = false;
+                    buildMessage = os.str();
+                }
+                continue;
             }
             tokenIndex[ws[i].value] = {line, i};
         }
     }
 
     // Epoch nodes: every epoch that wrote or appears in an edge.
-    std::map<Key, EpochNode> nodes;
     for (auto &[line, ws] : lineWrites) {
         for (std::size_t i = 0; i < ws.size(); ++i) {
             EpochNode &n = nodes[{ws[i].thread, ws[i].epoch}];
@@ -76,17 +48,32 @@ checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
     }
 
     // Per-thread sorted epoch lists for same-thread predecessor walks.
-    std::unordered_map<std::uint16_t, std::vector<std::uint64_t>> byThread;
     for (const auto &[key, node] : nodes)
         byThread[key.first].push_back(key.second);
     for (auto &[t, v] : byThread)
         std::sort(v.begin(), v.end());
+}
+
+CheckResult
+CheckerIndex::check(const NvmView &view,
+                    const std::vector<std::uint64_t> &committed_up_to)
+    const
+{
+    CheckResult res;
+    auto fail = [&res](const std::string &msg) {
+        res.ok = false;
+        res.message = msg;
+        return res;
+    };
+    if (!buildOk)
+        return fail(buildMessage);
 
     // --- surviving index per line ----------------------------------------
     // -1 means "no recorded write survived" (initial contents).
     std::unordered_map<std::uint64_t, std::ptrdiff_t> survived;
+    survived.reserve(lineWrites.size());
     for (const auto &[line, ws] : lineWrites) {
-        const std::uint64_t v = nvm.read(line);
+        const std::uint64_t v = view.read(line);
         if (v == 0) {
             survived[line] = -1;
             continue;
@@ -127,7 +114,8 @@ checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
     };
 
     // Walk ancestors of a seed epoch, verifying visibility of every
-    // strict ancestor.
+    // strict ancestor. The verified set depends on `survived`, so it
+    // is per-check scratch — never shared across states.
     std::set<Key> verified;
     auto verifyAncestors = [&](Key seed, std::string *why) {
         std::vector<Key> work;
@@ -204,6 +192,407 @@ checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
     }
 
     return res;
+}
+
+CheckScope::CheckScope(std::shared_ptr<const CheckerIndex> index,
+                       const NvmContents &base,
+                       const std::vector<std::uint64_t> &committed_up_to,
+                       const std::vector<std::uint64_t> &variable_lines)
+    : index_(std::move(index))
+{
+    using Key = CheckerIndex::Key;
+    const CheckerIndex &ix = *index_;
+    if (!ix.buildOk) {
+        // Every check fails with the build message; the full-check
+        // fallback reproduces it.
+        constantFail_ = true;
+        usable_ = true;
+        return;
+    }
+
+    // Slot table. Duplicate variable lines would make "the value of
+    // line L" ambiguous — bail rather than guess.
+    std::unordered_map<std::uint64_t, std::uint32_t> varSlot;
+    slots_.resize(variable_lines.size());
+    for (std::size_t i = 0; i < variable_lines.size(); ++i) {
+        slots_[i].line = variable_lines[i];
+        slots_[i].logged = ix.lineWrites.count(variable_lines[i]) != 0;
+        if (!varSlot
+                 .emplace(variable_lines[i],
+                          static_cast<std::uint32_t>(i))
+                 .second) {
+            return;
+        }
+    }
+
+    // Base surviving index per fixed line. A fixed alien value fails
+    // every state, whatever the variable lines hold.
+    std::unordered_map<std::uint64_t, std::ptrdiff_t> survBase;
+    survBase.reserve(ix.lineWrites.size());
+    for (const auto &[line, ws] : ix.lineWrites) {
+        (void)ws;
+        if (varSlot.count(line))
+            continue;
+        const std::uint64_t v = base.read(line);
+        if (v == 0) {
+            survBase[line] = -1;
+            continue;
+        }
+        auto it = ix.tokenIndex.find(v);
+        if (it == ix.tokenIndex.end() || it->second.first != line) {
+            constantFail_ = true;
+            usable_ = true;
+            return;
+        }
+        survBase[line] =
+            static_cast<std::ptrdiff_t>(it->second.second);
+    }
+
+    // Variable epochs, in deterministic (thread, epoch) order.
+    std::map<Key, std::uint32_t> varEpochId;
+    for (const auto &[k, node] : ix.nodes) {
+        for (const auto &[line, idx] : node.lastWrite) {
+            (void)idx;
+            if (varSlot.count(line)) {
+                varEpochId.emplace(k, 0);
+                break;
+            }
+        }
+    }
+    if (varEpochId.size() > 64)
+        return;
+    {
+        std::uint32_t next = 0;
+        for (auto &[k, id] : varEpochId) {
+            (void)k;
+            id = next++;
+        }
+    }
+    varEpochs_.resize(varEpochId.size());
+    for (const auto &[k, id] : varEpochId) {
+        VarEpoch &ve = varEpochs_[id];
+        for (const auto &[line, idx] : ix.nodes.at(k).lastWrite) {
+            auto vs = varSlot.find(line);
+            if (vs != varSlot.end()) {
+                ve.need.push_back({vs->second, idx});
+            } else if (survBase.at(line) <
+                       static_cast<std::ptrdiff_t>(idx)) {
+                ve.neverVisible = true;
+            }
+        }
+    }
+
+    // Dense node ids (std::map order: deterministic), parent lists,
+    // and base visibility of every fixed epoch.
+    std::map<Key, std::uint32_t> nodeId;
+    for (const auto &[k, node] : ix.nodes) {
+        (void)node;
+        nodeId.emplace(k, static_cast<std::uint32_t>(nodeId.size()));
+    }
+    const std::size_t nn = nodeId.size();
+    std::vector<std::vector<std::uint32_t>> parents(nn);
+    std::vector<bool> visBase(nn, true);
+    std::vector<std::uint64_t> varBit(nn, 0);
+    for (const auto &[k, id] : nodeId) {
+        const CheckerIndex::EpochNode &node = ix.nodes.at(k);
+        auto bit = ix.byThread.find(k.first);
+        if (bit != ix.byThread.end()) {
+            const auto &v = bit->second;
+            auto it =
+                std::lower_bound(v.begin(), v.end(), k.second);
+            if (it != v.begin())
+                parents[id].push_back(
+                    nodeId.at({k.first, *std::prev(it)}));
+        }
+        for (const Key &p : node.depParents)
+            parents[id].push_back(nodeId.at(p));
+
+        auto vit = varEpochId.find(k);
+        if (vit != varEpochId.end()) {
+            varBit[id] = 1ULL << vit->second;
+        } else {
+            for (const auto &[line, idx] : node.lastWrite) {
+                if (survBase.at(line) <
+                    static_cast<std::ptrdiff_t>(idx)) {
+                    visBase[id] = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    // One topological pass propagates, per node, whether a strict
+    // ancestor is a non-visible fixed epoch (ancBad) and which
+    // variable epochs are strict ancestors (anc mask).
+    std::vector<std::vector<std::uint32_t>> children(nn);
+    for (std::uint32_t c = 0; c < nn; ++c) {
+        for (std::uint32_t p : parents[c])
+            children[p].push_back(c);
+    }
+    std::vector<std::uint32_t> indeg(nn, 0);
+    for (std::uint32_t c = 0; c < nn; ++c)
+        indeg[c] = static_cast<std::uint32_t>(parents[c].size());
+    std::vector<std::uint32_t> queue;
+    queue.reserve(nn);
+    for (std::uint32_t c = 0; c < nn; ++c) {
+        if (indeg[c] == 0)
+            queue.push_back(c);
+    }
+    std::vector<std::uint64_t> anc(nn, 0);
+    std::vector<bool> ancBad(nn, false);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+        const std::uint32_t p = queue[head++];
+        for (std::uint32_t c : children[p]) {
+            anc[c] |= anc[p] | varBit[p];
+            if (ancBad[p] || (varBit[p] == 0 && !visBase[p]))
+                ancBad[c] = true;
+            if (--indeg[c] == 0)
+                queue.push_back(c);
+        }
+    }
+    if (head != nn)
+        return; // dependency cycle: no safe topological order
+
+    // Static fail sources: committed epochs (Check 2) and fixed
+    // lines' surviving epochs (Check 1). A fixed violation is a
+    // constant fail; variable ancestors accumulate into the mask of
+    // epochs every consistent state must keep visible.
+    for (std::uint16_t t = 0;
+         t < static_cast<std::uint16_t>(committed_up_to.size()); ++t) {
+        auto bit = ix.byThread.find(t);
+        if (bit == ix.byThread.end())
+            continue;
+        for (std::uint64_t ts : bit->second) {
+            if (ts > committed_up_to[t])
+                break;
+            const std::uint32_t id = nodeId.at({t, ts});
+            if (ancBad[id] || (varBit[id] == 0 && !visBase[id])) {
+                constantFail_ = true;
+                usable_ = true;
+                return;
+            }
+            staticBadMask_ |= anc[id] | varBit[id];
+        }
+    }
+    for (const auto &[line, ws] : ix.lineWrites) {
+        if (varSlot.count(line))
+            continue;
+        const std::ptrdiff_t idx = survBase.at(line);
+        if (idx < 0)
+            continue;
+        const RunLog::StoreRecord &w =
+            ws[static_cast<std::size_t>(idx)];
+        const std::uint32_t id = nodeId.at({w.thread, w.epoch});
+        if (ancBad[id]) {
+            constantFail_ = true;
+            usable_ = true;
+            return;
+        }
+        staticBadMask_ |= anc[id];
+    }
+
+    // Per-slot seed tables: ancestor facts for every write that can
+    // survive on a variable line.
+    for (Slot &s : slots_) {
+        if (!s.logged)
+            continue;
+        const auto &ws = ix.lineWrites.at(s.line);
+        s.seed.resize(ws.size());
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const std::uint32_t id =
+                nodeId.at({ws[i].thread, ws[i].epoch});
+            s.seed[i] = {ancBad[id], anc[id]};
+        }
+    }
+    usable_ = true;
+}
+
+bool
+CheckScope::consistent(const std::vector<std::uint64_t> &values,
+                       Scratch &scratch) const
+{
+    if (constantFail_)
+        return false;
+    const CheckerIndex &ix = *index_;
+
+    // Surviving write index per variable line (alien value: not
+    // fast-provable, let the full check produce the message).
+    scratch.surv.assign(slots_.size(), -1);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (!slots_[i].logged)
+            continue; // the checker never reads this line
+        const std::uint64_t v = values[i];
+        if (v == 0)
+            continue;
+        auto it = ix.tokenIndex.find(v);
+        if (it == ix.tokenIndex.end() ||
+            it->second.first != slots_[i].line) {
+            return false;
+        }
+        scratch.surv[i] =
+            static_cast<std::ptrdiff_t>(it->second.second);
+    }
+
+    // Visibility of the variable epochs under this state.
+    std::uint64_t notVisible = 0;
+    for (std::size_t b = 0; b < varEpochs_.size(); ++b) {
+        const VarEpoch &ve = varEpochs_[b];
+        bool vis = !ve.neverVisible;
+        if (vis) {
+            for (const auto &[slot, idx] : ve.need) {
+                if (scratch.surv[slot] <
+                    static_cast<std::ptrdiff_t>(idx)) {
+                    vis = false;
+                    break;
+                }
+            }
+        }
+        if (!vis)
+            notVisible |= 1ULL << b;
+    }
+
+    // Check 2 (+ Check 1 for fixed lines): a committed epoch, or a
+    // strict ancestor of a committed epoch or fixed surviving value,
+    // lost a write.
+    if (notVisible & staticBadMask_)
+        return false;
+
+    // Check 1 for variable lines: the surviving value's epoch has a
+    // non-durable strict ancestor.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const std::ptrdiff_t idx = scratch.surv[i];
+        if (idx < 0)
+            continue;
+        const SeedInfo &s =
+            slots_[i].seed[static_cast<std::size_t>(idx)];
+        if (s.ancBadFixed || (s.varAncMask & notVisible))
+            return false;
+    }
+    return true;
+}
+
+CheckResult
+checkCrashConsistency(const RunLog &log, const NvmContents &nvm,
+                      const std::vector<std::uint64_t> &committed_up_to)
+{
+    // Deliberately unmemoised: this is the one-shot path (and the
+    // permuter's naive baseline engine) — it pays the full index build
+    // per call, exactly as before CheckerIndex existed.
+    CheckerIndex index(log);
+    return index.check(NvmView(nvm), committed_up_to);
+}
+
+namespace
+{
+
+/** 128-bit content hash of a RunLog: two independent FNV-1a streams
+ *  over every store and edge field. The index is a pure function of
+ *  this content, so the hash is a safe memo key. */
+struct LogFingerprint
+{
+    std::uint64_t a = 14695981039346656037ULL;
+    std::uint64_t b = 0x2b992ddfa23249d6ULL;
+
+    void
+    mix(std::uint64_t v)
+    {
+        constexpr std::uint64_t kPrimeA = 1099511628211ULL;
+        constexpr std::uint64_t kPrimeB = 0x100000001b3ULL ^ 0x9e37;
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::uint64_t byte = (v >> (i * 8)) & 0xff;
+            a = (a ^ byte) * kPrimeA;
+            b = (b ^ (byte + 0x9e)) * kPrimeB;
+        }
+    }
+
+    bool
+    operator==(const LogFingerprint &o) const
+    {
+        return a == o.a && b == o.b;
+    }
+};
+
+LogFingerprint
+fingerprintLog(const RunLog &log)
+{
+    LogFingerprint fp;
+    fp.mix(log.allStores().size());
+    for (const RunLog::StoreRecord &s : log.allStores()) {
+        fp.mix(s.seq);
+        fp.mix((static_cast<std::uint64_t>(s.thread) << 32) ^ s.epoch);
+        fp.mix(s.line);
+        fp.mix(s.value);
+    }
+    fp.mix(log.allEdges().size());
+    for (const RunLog::DepEdge &e : log.allEdges()) {
+        fp.mix((static_cast<std::uint64_t>(e.thread) << 32) ^
+               e.srcThread);
+        fp.mix(e.epoch);
+        fp.mix(e.srcEpoch);
+    }
+    return fp;
+}
+
+struct IndexCacheEntry
+{
+    LogFingerprint key;
+    std::shared_ptr<const CheckerIndex> index;
+};
+
+/** Logs alive at once are few (one per in-flight experiment); a small
+ *  FIFO window is plenty to bridge probe -> verdict -> permute reuse. */
+constexpr std::size_t kIndexCacheCap = 16;
+
+std::mutex gIndexMu;
+std::deque<IndexCacheEntry> gIndexCache;
+std::atomic<std::uint64_t> gIndexBuilds{0};
+std::atomic<std::uint64_t> gIndexHits{0};
+
+} // namespace
+
+std::shared_ptr<const CheckerIndex>
+sharedCheckerIndex(const RunLog &log)
+{
+    const LogFingerprint key = fingerprintLog(log);
+    {
+        std::lock_guard<std::mutex> lock(gIndexMu);
+        for (const IndexCacheEntry &e : gIndexCache) {
+            if (e.key == key) {
+                gIndexHits.fetch_add(1, std::memory_order_relaxed);
+                return e.index;
+            }
+        }
+    }
+    // Build outside the lock: concurrent misses on the same log may
+    // build twice, but never block each other behind a sort.
+    auto index = std::make_shared<const CheckerIndex>(log);
+    gIndexBuilds.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(gIndexMu);
+        gIndexCache.push_back({key, index});
+        while (gIndexCache.size() > kIndexCacheCap)
+            gIndexCache.pop_front();
+    }
+    return index;
+}
+
+CheckerIndexStats
+checkerIndexStats()
+{
+    CheckerIndexStats s;
+    s.builds = gIndexBuilds.load(std::memory_order_relaxed);
+    s.hits = gIndexHits.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+clearCheckerIndexCache()
+{
+    std::lock_guard<std::mutex> lock(gIndexMu);
+    gIndexCache.clear();
+    gIndexBuilds.store(0, std::memory_order_relaxed);
+    gIndexHits.store(0, std::memory_order_relaxed);
 }
 
 } // namespace asap

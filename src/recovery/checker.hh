@@ -16,13 +16,25 @@
  *  3. *No alien values*: every surviving line value is either the
  *     initial value or a token some recorded store actually wrote to
  *     that line.
+ *
+ * The log-derived part of the check (per-line sorted write lists, the
+ * store-token index, the epoch dependency graph) depends only on the
+ * RunLog, not on the NVM state under test. CheckerIndex captures it as
+ * a build-once structure so callers checking many states against one
+ * log — the crash-state permuter above all — index once and pay only
+ * the per-state phase per check. checkCrashConsistency stays as the
+ * one-shot wrapper.
  */
 
 #ifndef ASAP_RECOVERY_CHECKER_HH
 #define ASAP_RECOVERY_CHECKER_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/nvm_contents.hh"
@@ -41,7 +53,190 @@ struct CheckResult
 };
 
 /**
- * Verify post-crash NVM contents against the run log.
+ * A read-only view of post-crash NVM contents: the surviving media
+ * state, optionally shadowed by a sparse overlay. The permuter checks
+ * each enumerated state through an overlay holding only the lines a
+ * record can change, instead of mutating (and reverting) the shared
+ * NvmContents — which also makes concurrent checks safe: NvmContents
+ * reads are const and each worker owns its overlay.
+ */
+class NvmView
+{
+  public:
+    explicit NvmView(const NvmContents &base) : base_(&base) {}
+    NvmView(const NvmContents &base,
+            const std::unordered_map<std::uint64_t, std::uint64_t>
+                &overlay)
+        : base_(&base), overlay_(&overlay)
+    {
+    }
+
+    /** Overlay value when present, else the underlying media value. */
+    std::uint64_t
+    read(std::uint64_t line) const
+    {
+        if (overlay_) {
+            auto it = overlay_->find(line);
+            if (it != overlay_->end())
+                return it->second;
+        }
+        return base_->read(line);
+    }
+
+  private:
+    const NvmContents *base_;
+    const std::unordered_map<std::uint64_t, std::uint64_t> *overlay_ =
+        nullptr;
+};
+
+/**
+ * Build-once index of a RunLog for repeated consistency checks.
+ *
+ * Construction does every log-shaped part of the check: sorts each
+ * line's writes into retirement order, indexes store tokens (flagging
+ * duplicates), and assembles the epoch dependency graph. check() then
+ * runs only the state-shaped part — surviving-write resolution and
+ * the prefix-closure / committed-durability walks — against any
+ * NvmView. check() is const and allocates only per-call scratch, so
+ * one index may serve many threads concurrently.
+ */
+class CheckerIndex
+{
+  public:
+    explicit CheckerIndex(const RunLog &log);
+
+    /** Check one post-crash state against the indexed log. */
+    CheckResult
+    check(const NvmView &view,
+          const std::vector<std::uint64_t> &committed_up_to) const;
+
+  private:
+    /** Ordered epoch key: (thread, epoch timestamp). */
+    using Key = std::pair<std::uint16_t, std::uint64_t>;
+
+    struct EpochNode
+    {
+        /** Per-line index (into that line's write list) of this
+         *  epoch's last write to the line. */
+        std::unordered_map<std::uint64_t, std::size_t> lastWrite;
+        /** Direct cross-thread parents. */
+        std::vector<Key> depParents;
+    };
+
+    /** Per line, writes in retirement order. */
+    std::unordered_map<std::uint64_t, std::vector<RunLog::StoreRecord>>
+        lineWrites;
+    /** token -> (line, index into that line's write list). */
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::uint64_t, std::size_t>>
+        tokenIndex;
+    /** Every epoch that wrote or appears in an edge. */
+    std::map<Key, EpochNode> nodes;
+    /** Per-thread sorted epoch lists for predecessor walks. */
+    std::unordered_map<std::uint16_t, std::vector<std::uint64_t>>
+        byThread;
+    /** Log defect found at build time (duplicate store token); every
+     *  check() fails with it. */
+    bool buildOk = true;
+    std::string buildMessage;
+
+    friend class CheckScope;
+};
+
+/**
+ * Delta-check oracle for many states that differ from one base image
+ * only on a known set of *variable lines* (the permuter's effect
+ * table). Everything the checker derives from fixed lines is constant
+ * across those states, so construction resolves it once:
+ *
+ *  - base surviving-write indices and alien detection for every fixed
+ *    line (a fixed-line violation fails every state: constant fail);
+ *  - visibility of every epoch that writes no variable line;
+ *  - per epoch, via one topological pass over the dependency DAG,
+ *    whether a non-visible fixed epoch is a strict ancestor
+ *    (constant fail when a committed epoch or fixed surviving value
+ *    depends on one) and the bitmask of *variable* epochs — those
+ *    writing at least one variable line — among its strict ancestors.
+ *
+ * consistent() then answers the boolean verdict in O(variable lines +
+ * variable epochs): resolve the surviving index of each variable
+ * line, evaluate only the variable epochs' visibility, and test the
+ * precomputed ancestor masks. `true` is exact (the full check would
+ * pass); `false` means "not fast-provable" — callers re-run
+ * CheckerIndex::check() for the authoritative verdict and canonical
+ * message, so the fallback path can never diverge from the checker.
+ *
+ * The scope bails (usable() == false) on structures it cannot encode:
+ * more than 64 variable epochs, duplicate variable lines, or a cycle
+ * in the dependency graph.
+ */
+class CheckScope
+{
+  public:
+    /** Per-calling-thread scratch for consistent(). */
+    struct Scratch
+    {
+        std::vector<std::ptrdiff_t> surv;
+    };
+
+    CheckScope(std::shared_ptr<const CheckerIndex> index,
+               const NvmContents &base,
+               const std::vector<std::uint64_t> &committed_up_to,
+               const std::vector<std::uint64_t> &variable_lines);
+
+    /** False when construction bailed; consistent() must not be
+     *  called and every state needs the full check. */
+    bool usable() const { return usable_; }
+
+    /**
+     * Exact fast verdict for one state. @p values holds the current
+     * value of each variable line, aligned with the constructor's
+     * variable_lines. Returns true iff the full check would pass.
+     */
+    bool consistent(const std::vector<std::uint64_t> &values,
+                    Scratch &scratch) const;
+
+  private:
+    /** One epoch writing at least one variable line. */
+    struct VarEpoch
+    {
+        /** A fixed line of the epoch already lost a write on the base
+         *  image: the epoch is invisible in every state. */
+        bool neverVisible = false;
+        /** (variable-line slot, required surviving index) pairs. */
+        std::vector<std::pair<std::uint32_t, std::size_t>> need;
+    };
+
+    /** Ancestor facts of one potential surviving-value epoch. */
+    struct SeedInfo
+    {
+        bool ancBadFixed = false;   //!< strict ancestor: bad fixed epoch
+        std::uint64_t varAncMask = 0; //!< strict ancestors in varEpochs_
+    };
+
+    /** One variable line. */
+    struct Slot
+    {
+        std::uint64_t line = 0;
+        bool logged = false; //!< false: checker never reads this line
+        std::vector<SeedInfo> seed; //!< per write index of the line
+    };
+
+    std::shared_ptr<const CheckerIndex> index_;
+    bool usable_ = false;
+    /** Some fixed-line/epoch violation holds in every state. */
+    bool constantFail_ = false;
+    std::vector<Slot> slots_;
+    std::vector<VarEpoch> varEpochs_;
+    /** Variable epochs that must be visible in every consistent
+     *  state: committed themselves, or a strict ancestor of a
+     *  committed epoch or of a fixed surviving value's epoch. */
+    std::uint64_t staticBadMask_ = 0;
+};
+
+/**
+ * Verify post-crash NVM contents against the run log (one-shot: index
+ * the log, run one check — exactly the pre-CheckerIndex cost).
  *
  * @param log stores and dependency edges recorded during the run
  * @param nvm surviving media contents (post ADR drain + undo rewind)
@@ -51,6 +246,31 @@ struct CheckResult
 CheckResult checkCrashConsistency(
     const RunLog &log, const NvmContents &nvm,
     const std::vector<std::uint64_t> &committed_up_to);
+
+/**
+ * Process-wide CheckerIndex memo, keyed by the log *contents* (a
+ * 128-bit content hash), so every caller holding an identical log —
+ * a Crash job and a Permute job probing the same tick, a campaign
+ * verdict repeated after its probe — shares one build. Self-keying by
+ * content means no configuration rendering can drift out of sync with
+ * what actually shapes the log. Entries are capped (oldest evicted);
+ * the shared_ptr keeps an evicted index alive for holders.
+ */
+std::shared_ptr<const CheckerIndex>
+sharedCheckerIndex(const RunLog &log);
+
+/** Hit/build counters of the shared-index memo. */
+struct CheckerIndexStats
+{
+    std::uint64_t builds = 0; //!< indexes built (memo misses)
+    std::uint64_t hits = 0;   //!< checks served an existing index
+};
+
+/** Snapshot of the process-wide shared-index counters. */
+CheckerIndexStats checkerIndexStats();
+
+/** Drop memoised indexes and zero the counters (tests). */
+void clearCheckerIndexCache();
 
 } // namespace asap
 

@@ -1,4 +1,4 @@
-#include "exp/pool.hh"
+#include "sim/pool.hh"
 
 #include <utility>
 

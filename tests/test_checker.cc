@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <unordered_set>
+
 #include "mem/nvm_contents.hh"
 #include "recovery/checker.hh"
 #include "recovery/run_log.hh"
@@ -22,10 +25,44 @@ struct CheckerFixture : public ::testing::Test
     NvmContents nvm;
     std::vector<std::uint64_t> committed{0, 0};
 
+    /**
+     * Every scenario doubles as a CheckScope conformance case: the
+     * delta-check verdict must agree exactly with the full checker,
+     * both with every logged line variable (the all-delta extreme)
+     * and with none (the all-static extreme).
+     */
     CheckResult
     check()
     {
-        return checkCrashConsistency(log, nvm, committed);
+        const CheckResult full =
+            checkCrashConsistency(log, nvm, committed);
+
+        auto index = std::make_shared<const CheckerIndex>(log);
+        std::vector<std::uint64_t> lines;
+        std::unordered_set<std::uint64_t> seen;
+        for (const RunLog::StoreRecord &s : log.allStores()) {
+            if (seen.insert(s.line).second)
+                lines.push_back(s.line);
+        }
+        CheckScope allVar(index, nvm, committed, lines);
+        if (allVar.usable()) {
+            std::vector<std::uint64_t> values;
+            values.reserve(lines.size());
+            for (std::uint64_t line : lines)
+                values.push_back(nvm.read(line));
+            CheckScope::Scratch scratch;
+            EXPECT_EQ(allVar.consistent(values, scratch), full.ok)
+                << "all-variable CheckScope disagrees: "
+                << full.message;
+        }
+        CheckScope allFixed(index, nvm, committed, {});
+        if (allFixed.usable()) {
+            const std::vector<std::uint64_t> none;
+            CheckScope::Scratch scratch;
+            EXPECT_EQ(allFixed.consistent(none, scratch), full.ok)
+                << "all-fixed CheckScope disagrees: " << full.message;
+        }
+        return full;
     }
 };
 

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <sstream>
 
 #include "exp/cache.hh"
@@ -16,6 +17,7 @@
 #include "exp/emit.hh"
 #include "exp/engine.hh"
 #include "permute/permute.hh"
+#include "recovery/checker.hh"
 #include "sim/log.hh"
 #include "svc/wire.hh"
 
@@ -183,6 +185,125 @@ TEST(PermuteCore, ExhaustiveBelowBoundSampledAbove)
     EXPECT_EQ(nvm.read(100), 0u);
     EXPECT_EQ(nvm.read(101), 0u);
     EXPECT_EQ(nvm.read(200), 0u);
+}
+
+TEST(PermuteCore, GrayCodeCoversSpaceWithSingleBitSteps)
+{
+    // Consecutive reflected Gray codes differ in exactly one bit, and
+    // the sequence is a permutation of the full space — the two
+    // properties the incremental engine's O(1) state steps rest on.
+    constexpr unsigned kBits = 12;
+    constexpr std::uint64_t kCount = 1ULL << kBits;
+    std::vector<bool> seen(kCount, false);
+    EXPECT_EQ(permute::grayCode(0), 0u);
+    std::uint64_t prev = permute::grayCode(0);
+    seen[prev] = true;
+    for (std::uint64_t i = 1; i < kCount; ++i) {
+        const std::uint64_t g = permute::grayCode(i);
+        ASSERT_LT(g, kCount);
+        ASSERT_FALSE(seen[g]) << "grayCode repeats at i=" << i;
+        seen[g] = true;
+        EXPECT_TRUE(std::has_single_bit(prev ^ g))
+            << "step " << i << " flips more than one bit";
+        prev = g;
+    }
+}
+
+TEST(PermuteCore, EngineParse)
+{
+    permute::Engine e = permute::Engine::Naive;
+    EXPECT_TRUE(permute::parsePermuteEngine("", e));
+    EXPECT_EQ(e, permute::Engine::Incremental);
+    EXPECT_TRUE(permute::parsePermuteEngine("naive", e));
+    EXPECT_EQ(e, permute::Engine::Naive);
+    EXPECT_TRUE(permute::parsePermuteEngine("incremental", e));
+    EXPECT_EQ(e, permute::Engine::Incremental);
+    EXPECT_FALSE(permute::parsePermuteEngine("bogus", e));
+    EXPECT_EQ(permute::toString(permute::Engine::Naive), "naive");
+    EXPECT_EQ(permute::toString(permute::Engine::Incremental),
+              "incremental");
+}
+
+// ---------------------------------------------------- engine parity
+
+/**
+ * Naive, incremental and parallel (8 workers) engines must agree on
+ * every reported number — checked/reachable/distinct/inconsistent
+ * counts, truncation, first-bad state and message — across all four
+ * models, several crash ticks and both fault modes.
+ */
+void
+expectEngineParity(const std::string &fault)
+{
+    setLogQuiet(true);
+    const ModelPair models[] = {
+        {ModelKind::Baseline, PersistencyModel::Epoch},
+        {ModelKind::Hops, PersistencyModel::Epoch},
+        {ModelKind::Eadr, PersistencyModel::Epoch},
+        {ModelKind::Asap, PersistencyModel::Release},
+    };
+    WorkloadParams params = tinyParams();
+    params.opsPerThread = 60;
+    for (const ModelPair &m : models) {
+        SimConfig cfg;
+        cfg.model = m.first;
+        cfg.persistency = m.second;
+        cfg.numCores = 4;
+        for (Tick t : {8000u, 24000u, 40000u}) {
+            PermuteSpec naive;
+            naive.engine = "naive";
+            naive.fault = fault;
+            PermuteSpec inc;
+            inc.engine = "incremental";
+            inc.fault = fault;
+            PermuteSpec par;
+            par.engine = "incremental";
+            par.threads = 8;
+            par.fault = fault;
+
+            const CrashRunResult a = runPermuteExperiment(
+                "queue", cfg, params, t, naive);
+            const CrashRunResult b = runPermuteExperiment(
+                "queue", cfg, params, t, inc);
+            const CrashRunResult c = runPermuteExperiment(
+                "queue", cfg, params, t, par);
+            SCOPED_TRACE(toString(m.first) + "/" + toString(m.second) +
+                         " @ " + std::to_string(t) +
+                         (fault.empty() ? "" : " fault=" + fault));
+            expectSamePermuteVerdict(a.verdict, b.verdict);
+            expectSamePermuteVerdict(a.verdict, c.verdict);
+        }
+    }
+}
+
+TEST(PermuteEngines, CrashAndPermuteShareOneCheckerIndex)
+{
+    setLogQuiet(true);
+    // A Crash job and a Permute job probing the same tick hold
+    // identical logs, so the content-keyed memo must serve both from
+    // one CheckerIndex build.
+    SimConfig cfg;
+    cfg.model = ModelKind::Asap;
+    cfg.persistency = PersistencyModel::Release;
+    cfg.numCores = 4;
+    clearCheckerIndexCache();
+    PermuteSpec spec;
+    (void)runPermuteExperiment("queue", cfg, tinyParams(), 20000, spec);
+    (void)runCrashExperiment("queue", cfg, tinyParams(), 20000);
+    const CheckerIndexStats stats = checkerIndexStats();
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_GE(stats.hits, 1u);
+    clearCheckerIndexCache();
+}
+
+TEST(PermuteEngines, ParityAcrossModels)
+{
+    expectEngineParity("");
+}
+
+TEST(PermuteEngines, ParityAcrossModelsWithDropUndoFault)
+{
+    expectEngineParity("drop-undo");
 }
 
 // ----------------------------------------- job plumbing (cache, wire)
